@@ -1,0 +1,225 @@
+// nestbench regenerates the tables and figures of the paper's evaluation
+// (§6, §7.1). Each experiment prints the rows the paper plots; EXPERIMENTS.md
+// records a reference run.
+//
+// Usage:
+//
+//	nestbench -exp all                # every experiment at default scales
+//	nestbench -exp fig5 -n 1024       # reuse-distance CDF (Fig 5)
+//	nestbench -exp fig7 -scale 16384  # speedups across the six benchmarks
+//	nestbench -exp fig8a|fig8b        # instruction overhead / miss rates
+//	nestbench -exp fig9               # PC input-size sweep
+//	nestbench -exp fig10              # PC cutoff study
+//	nestbench -exp iters              # §4.2 iteration counts
+//	nestbench -exp inventory          # benchmark inventory (§6.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"twist/internal/experiments"
+	"twist/internal/workloads"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, all")
+		scale   = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b (points per dual-tree benchmark)")
+		n       = flag.Int("n", 1024, "tree size for fig5")
+		pcN     = flag.Int("pcn", 8192, "PC input size for fig10/iters")
+		radius  = flag.Float64("radius", 0.4, "PC correlation radius")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		repeats = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "nestbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	all := *exp == "all"
+	any := false
+	if all || *exp == "inventory" {
+		any = true
+		run("inventory (§6.1 benchmarks)", func() error { return inventory(*scale, *seed) })
+	}
+	if all || *exp == "fig5" {
+		any = true
+		run("fig5: reuse-distance CDF, tree join", func() error { return fig5(*n, *seed) })
+	}
+	if all || *exp == "fig7" {
+		any = true
+		run("fig7: speedup of recursion twisting", func() error { return fig7(*scale, *seed, *repeats) })
+	}
+	if all || *exp == "fig8a" {
+		any = true
+		run("fig8a: instruction overhead (op model)", func() error { return fig8a(*scale, *seed) })
+	}
+	if all || *exp == "fig8b" {
+		any = true
+		run("fig8b: simulated L2/L3 miss rates", func() error { return fig8b(*scale, *seed) })
+	}
+	if all || *exp == "fig9" {
+		any = true
+		run("fig9: PC across input sizes", func() error { return fig9(*radius, *seed, *repeats) })
+	}
+	if all || *exp == "fig10" {
+		any = true
+		run("fig10: PC cutoff study (§7.1)", func() error { return fig10(*pcN, *radius, *seed, *repeats) })
+	}
+	if all || *exp == "ablation" {
+		any = true
+		run("ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)",
+			func() error { return ablation(*pcN, *radius, *seed, *repeats) })
+	}
+	if all || *exp == "kary" {
+		any = true
+		run("kary: octree (8-ary) point correlation extension (§2.1 generality)",
+			func() error { return kary(*pcN, *seed) })
+	}
+	if all || *exp == "iters" {
+		any = true
+		run("iters: §4.2 iteration counts, PC", func() error { return iters(*pcN, *radius, *seed) })
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "nestbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func table() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func inventory(scale int, seed int64) error {
+	w := table()
+	fmt.Fprintln(w, "bench\tdescription")
+	for _, in := range workloads.Suite(scale, seed) {
+		fmt.Fprintf(w, "%s\t%s\n", in.Name, in.Description)
+	}
+	return w.Flush()
+}
+
+func fig5(n int, seed int64) error {
+	rows := experiments.Fig5(n, seed)
+	w := table()
+	fmt.Fprintln(w, "r\toriginal CDF\ttwisted CDF")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", r.R, r.Original, r.Twisted)
+	}
+	return w.Flush()
+}
+
+func fig7(scale int, seed int64, repeats int) error {
+	rows, err := experiments.Fig7(scale, seed, repeats)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "bench\tbaseline\ttwisted\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", r.Bench, r.Baseline, r.Twisted, r.Speedup)
+	}
+	fmt.Fprintf(w, "geomean\t\t\t%.2fx\n", experiments.GeoMean(rows))
+	return w.Flush()
+}
+
+func fig8a(scale int, seed int64) error {
+	rows := experiments.Fig8a(scale, seed)
+	w := table()
+	fmt.Fprintln(w, "bench\tbaseline ops\ttwisted ops\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%+.1f%%\n", r.Bench, r.BaselineOps, r.TwistedOps, 100*r.Overhead)
+	}
+	return w.Flush()
+}
+
+func fig8b(scale int, seed int64) error {
+	rows := experiments.Fig8b(scale, seed)
+	w := table()
+	fmt.Fprintln(w, "bench\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			r.Bench, 100*r.BaseL2, 100*r.TwistL2, 100*r.BaseL3, 100*r.TwistL3)
+	}
+	return w.Flush()
+}
+
+func fig9(radius float64, seed int64, repeats int) error {
+	sizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768}
+	rows, err := experiments.Fig9(sizes, radius, seed, repeats)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "n\tspeedup\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2fx\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			r.N, r.Speedup, 100*r.BaseL2, 100*r.TwistL2, 100*r.BaseL3, 100*r.TwistL3)
+	}
+	return w.Flush()
+}
+
+func fig10(n int, radius float64, seed int64, repeats int) error {
+	cutoffs := []int{16, 64, 256, 1024, 4096}
+	rows, err := experiments.Fig10(n, radius, cutoffs, seed, repeats)
+	if err != nil {
+		return err
+	}
+	w := table()
+	fmt.Fprintln(w, "cutoff\tinstr overhead\tspeedup")
+	for _, r := range rows {
+		name := fmt.Sprint(r.Cutoff)
+		if r.Cutoff < 0 {
+			name = "parameterless"
+		}
+		fmt.Fprintf(w, "%s\t%+.1f%%\t%.2fx\n", name, 100*r.Overhead, r.Speedup)
+	}
+	return w.Flush()
+}
+
+func iters(n int, radius float64, seed int64) error {
+	rows := experiments.TblIters(n, radius, seed)
+	w := table()
+	fmt.Fprintln(w, "schedule\titerations\twork\toverhead vs original")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%+.1f%%\n", r.Schedule, r.Iterations, r.Work, 100*r.Overhead)
+	}
+	return w.Flush()
+}
+
+func ablation(n int, radius float64, seed int64, repeats int) error {
+	w := table()
+	fmt.Fprintln(w, "flag mode\tflag sets\tflag clears\tmodel ops\twall")
+	for _, r := range experiments.AblationFlags(n, radius, seed, repeats) {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%v\n", r.Mode, r.FlagSets, r.FlagClears, r.Ops, r.Wall)
+	}
+	fmt.Fprintln(w, "\nsubtree truncation\titerations\tcuts\twall")
+	for _, r := range experiments.AblationSubtree(n, radius, seed, repeats) {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Enabled, r.Iterations, r.SubtreeCuts, r.Wall)
+	}
+	fmt.Fprintln(w, "\nnode stride\tL3 base\tL3 twisted\tL3 base misses\tL3 twisted misses")
+	for _, r := range experiments.AblationStride(n, []int{64, 32, 16}, seed) {
+		fmt.Fprintf(w, "%dB\t%.1f%%\t%.1f%%\t%d\t%d\n",
+			r.Stride, 100*r.BaseL3, 100*r.TwistL3, r.BaseL3Misses, r.TwistL3Misses)
+	}
+	return w.Flush()
+}
+
+func kary(n int, seed int64) error {
+	w := table()
+	fmt.Fprintln(w, "schedule\tpairs<=r\titerations\ttwists\tL2\tL3")
+	for _, r := range experiments.KAryOctree(n, 0.3, seed) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
+			r.Schedule, r.Count, r.Iterations, r.Twists, 100*r.L2, 100*r.L3)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,66 @@
+// looptiling demonstrates §7.2 through the public API: a doubly-nested loop
+// is recast as a nested recursion (twist.NewLoopNest) and recursion twisting
+// then acts as automatic multi-level loop tiling — "a schedule that fits all
+// levels of cache without knowing the number and sizes of caches".
+//
+// The kernel is a vector outer product accumulation, the paper's own
+// motivating loop example (§1.1, §3.2): one vector gets perfect locality,
+// the other is streamed in full per outer iteration — unless the schedule is
+// tiled.
+//
+// Run with:
+//
+//	go run ./examples/looptiling [-n 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"twist"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "vector length (the loop nest is n x n)")
+	flag.Parse()
+
+	x := make([]float64, *n)
+	y := make([]float64, *n)
+	for k := range x {
+		x[k] = float64(k%13) / 7
+		y[k] = float64(k%17) / 5
+	}
+
+	ln, err := twist.NewLoopNest(*n, *n, 8)
+	if err != nil {
+		panic(err)
+	}
+
+	// acc[o] accumulates row sums of the outer product x ⊗ y; each loop body
+	// touches x[o], y[i], acc[o] — the locality profile of the paper's
+	// vector outer product.
+	acc := make([]float64, *n)
+	body := func(o, i int) { acc[o] += x[o] * y[i] }
+
+	for _, v := range []twist.Variant{twist.Original(), twist.Twisted(), twist.TwistedCutoff(256)} {
+		for k := range acc {
+			acc[k] = 0
+		}
+		runtime.GC()
+		t0 := time.Now()
+		e := ln.Run(body, v)
+		dt := time.Since(t0)
+		var sum float64
+		for _, a := range acc {
+			sum += a
+		}
+		fmt.Printf("%-16v sum=%-18.6f twists=%-8d time=%v\n",
+			v, sum, e.Stats.Twists, dt.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nall schedules compute the same sums; the twisted order walks the")
+	fmt.Println("n x n space in nested tiles, so y stays cache-resident at every level")
+	fmt.Println("(compare the original's full sweep of y per outer iteration).")
+}

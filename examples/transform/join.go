@@ -1,0 +1,28 @@
+package main
+
+// visitJoin is the work body of the join template; main.go points it at a
+// recording function.
+var visitJoin func(o, i *Node)
+
+// The tree join of paper Fig 1(a), annotated for cmd/twist. The template is
+// regular: the inner truncation depends only on the inner index.
+
+//twist:outer
+func JoinOuter(o *Node, i *Node) {
+	if o == nil {
+		return
+	}
+	JoinInner(o, i)
+	JoinOuter(o.Left, i)
+	JoinOuter(o.Right, i)
+}
+
+//twist:inner
+func JoinInner(o *Node, i *Node) {
+	if i == nil {
+		return
+	}
+	visitJoin(o, i)
+	JoinInner(o, i.Left)
+	JoinInner(o, i.Right)
+}

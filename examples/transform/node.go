@@ -1,0 +1,44 @@
+// Package main is the input corpus and runtime validation harness for
+// cmd/twist, the source-to-source transformer of paper §5. join.go and
+// prune.go hold annotated nested recursions; join_twisted.go and
+// prune_twisted.go are the tool's output (checked in; regenerated and
+// verified byte-identical by internal/transform's tests); main.go runs the
+// original and synthesized schedules against each other.
+package main
+
+// Node is a plain pointer-based binary tree node — unlike the arena engine
+// in internal/nest, the transformed source operates on ordinary Go data
+// structures, as the paper's tool does on ordinary C++.
+type Node struct {
+	Left, Right *Node
+	Size        int   // subtree size, maintained at build time
+	Val         int64 // payload
+	trunc       bool  // truncation flag used by synthesized Fig 6(b) code
+}
+
+// subtreeSize is the size helper required by the twisting transformation
+// (§5: "a method can be called to determine the size of the current
+// sub-recursion").
+func subtreeSize(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return n.Size
+}
+
+// truncFlag and setTruncFlag are the truncation-flag accessors used by the
+// synthesized irregular-truncation code.
+func truncFlag(n *Node) bool       { return n.trunc }
+func setTruncFlag(n *Node, v bool) { n.trunc = v }
+
+// build constructs a balanced tree over n nodes with deterministic payloads.
+func build(n int, seed int64) *Node {
+	if n == 0 {
+		return nil
+	}
+	l := (n - 1) / 2
+	root := &Node{Size: n, Val: seed % 1000}
+	root.Left = build(l, seed*6364136223846793005+1442695040888963407)
+	root.Right = build(n-1-l, seed*2862933555777941757+3037000493)
+	return root
+}

@@ -1,0 +1,29 @@
+package main
+
+// visitPrune is the work body of the pruned template.
+var visitPrune func(o, i *Node)
+
+// A nested recursion with *irregular* truncation (paper §4): the inner
+// recursion is cut off based on both indices (`o.Val > i.Val`), so the
+// synthesized interchange/twisting code must track truncation flags
+// (Fig 6b). cmd/twist detects this automatically.
+
+//twist:outer
+func PruneOuter(o *Node, i *Node) {
+	if o == nil {
+		return
+	}
+	PruneInner(o, i)
+	PruneOuter(o.Left, i)
+	PruneOuter(o.Right, i)
+}
+
+//twist:inner
+func PruneInner(o *Node, i *Node) {
+	if i == nil || o.Val > i.Val {
+		return
+	}
+	visitPrune(o, i)
+	PruneInner(o, i.Left)
+	PruneInner(o, i.Right)
+}

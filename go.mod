@@ -1,0 +1,3 @@
+module twist
+
+go 1.22

@@ -1,0 +1,191 @@
+// Package depcheck provides a dynamic soundness check for the paper's §3.3
+// criterion. The paper establishes that recursion twisting is sound whenever
+// recursion interchange is, and that a sufficient condition for the latter
+// is a "parallel" outer recursion: different outer-recursion invocations
+// (columns of the iteration space) are independent — the only dependences
+// are carried over the inner recursion. The paper leaves an analysis proving
+// this property to future work; this package implements the dynamic analog:
+// it executes the original schedule on a concrete input, records the
+// read/write footprint of every iteration, and reports whether any
+// dependence crosses columns.
+//
+// A clean report certifies soundness *for that input*; like any dynamic
+// analysis it cannot prove soundness for all inputs, but it catches unsound
+// annotations in practice and documents the dependence structure
+// (cross-column, inner-carried, or none). Commutative reductions (a shared
+// accumulator updated with +, max, …) should be omitted from footprints, as
+// the paper does when it classifies TJ and MM as having "no dependences".
+package depcheck
+
+import (
+	"fmt"
+
+	"twist/internal/nest"
+	"twist/internal/tree"
+)
+
+// Loc is an abstract memory location (an address, an array index, a node
+// id — any stable identifier).
+type Loc uint64
+
+// Footprint reports the locations one work(o, i) invocation reads and
+// writes. It must be pure with respect to the traversal (called once per
+// executed iteration, in original-schedule order).
+type Footprint func(o, i tree.NodeID) (reads, writes []Loc)
+
+// Kind classifies the dependence structure found.
+type Kind int
+
+const (
+	// Independent: no two iterations conflict at all (TJ and MM, §6.1).
+	Independent Kind = iota
+	// InnerCarried: conflicts exist but stay within single columns — the
+	// paper's "dependences carried over the inner recursion" (PC, NN, KNN,
+	// VP). The outer recursion is parallel; interchange and twisting are
+	// sound (§3.3).
+	InnerCarried
+	// CrossColumn: some dependence links different outer nodes; the §3.3
+	// sufficient condition fails and the transformations are not certified.
+	CrossColumn
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case InnerCarried:
+		return "inner-carried"
+	case CrossColumn:
+		return "cross-column"
+	}
+	return "unknown"
+}
+
+// Conflict is a sample cross-column dependence: two iterations in different
+// columns touching the same location, at least one writing it.
+type Conflict struct {
+	Loc          Loc
+	FirstOuter   tree.NodeID // column that wrote the location first
+	SecondOuter  tree.NodeID // later column that read or wrote it
+	SecondWrites bool
+}
+
+// String implements fmt.Stringer.
+func (c Conflict) String() string {
+	op := "reads"
+	if c.SecondWrites {
+		op = "writes"
+	}
+	return fmt.Sprintf("column %d writes loc %#x; column %d later %s it",
+		c.FirstOuter, c.Loc, c.SecondOuter, op)
+}
+
+// Result is the outcome of an analysis.
+type Result struct {
+	Kind      Kind
+	Conflicts []Conflict // up to the maxConflicts sample cross-column conflicts
+	// Iterations is the number of work invocations analyzed.
+	Iterations int64
+}
+
+// Sound reports whether the §3.3 sufficient condition held on this input:
+// the outer recursion is parallel, so interchange — and therefore twisting —
+// preserves every dependence.
+func (r Result) Sound() bool { return r.Kind != CrossColumn }
+
+// locState tracks, per location, the last writing column and the first two
+// distinct columns that read it since that write. Two reader slots are
+// enough to witness "some reader differs from a subsequent writer": the
+// first two *distinct* readers cannot both equal the writer.
+type locState struct {
+	writer    tree.NodeID // last column that wrote (Nil if none)
+	r1, r2    tree.NodeID // first two distinct readers since the last write
+	selfConfl bool        // some same-column dependence seen
+}
+
+// Analyze runs the original schedule of s, feeding every executed iteration
+// to fp, and classifies the dependence structure. maxConflicts bounds the
+// number of sample conflicts retained (0 keeps none).
+func Analyze(s nest.Spec, fp Footprint, maxConflicts int) (Result, error) {
+	if fp == nil {
+		return Result{}, fmt.Errorf("depcheck: nil footprint")
+	}
+	res := Result{}
+	state := make(map[Loc]*locState)
+	innerConflict := false
+
+	crossConflict := func(loc Loc, first, second tree.NodeID, secondWrites bool) {
+		res.Kind = CrossColumn
+		if len(res.Conflicts) < maxConflicts {
+			res.Conflicts = append(res.Conflicts, Conflict{
+				Loc: loc, FirstOuter: first, SecondOuter: second, SecondWrites: secondWrites,
+			})
+		}
+	}
+
+	record := func(o tree.NodeID, loc Loc, writes bool) {
+		st, ok := state[loc]
+		if !ok {
+			st = &locState{writer: tree.Nil, r1: tree.Nil, r2: tree.Nil}
+			state[loc] = st
+		}
+		// Flow dependence (W→R or W→W) against the last writer.
+		if st.writer != tree.Nil {
+			if st.writer != o {
+				crossConflict(loc, st.writer, o, writes)
+			} else {
+				st.selfConfl = true
+			}
+		}
+		if writes {
+			// Anti dependence (R→W) against any reader since the last write.
+			for _, r := range [2]tree.NodeID{st.r1, st.r2} {
+				if r == tree.Nil {
+					continue
+				}
+				if r != o {
+					crossConflict(loc, r, o, true)
+				} else {
+					st.selfConfl = true
+				}
+			}
+			st.writer = o
+			st.r1, st.r2 = tree.Nil, tree.Nil
+		} else if st.r1 != o && st.r2 != o {
+			if st.r1 == tree.Nil {
+				st.r1 = o
+			} else if st.r2 == tree.Nil {
+				st.r2 = o
+			}
+		}
+		if st.selfConfl {
+			innerConflict = true
+		}
+	}
+
+	spec := s
+	spec.Work = func(o, i tree.NodeID) {
+		res.Iterations++
+		reads, writes := fp(o, i)
+		for _, l := range reads {
+			record(o, l, false)
+		}
+		for _, l := range writes {
+			record(o, l, true)
+		}
+	}
+	e, err := nest.New(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	e.Run(nest.Original())
+	if res.Kind != CrossColumn {
+		if innerConflict {
+			res.Kind = InnerCarried
+		} else {
+			res.Kind = Independent
+		}
+	}
+	return res, nil
+}

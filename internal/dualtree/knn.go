@@ -1,0 +1,217 @@
+package dualtree
+
+import (
+	"math"
+	"sort"
+
+	"twist/internal/geom"
+	"twist/internal/nest"
+	"twist/internal/spatial"
+	"twist/internal/tree"
+)
+
+// neighbor is one candidate in a query's k-best set.
+type neighbor struct {
+	d   float64 // squared distance
+	idx int32   // original reference index
+}
+
+// worse orders neighbors descending by (distance, index): a max-heap keyed
+// this way keeps the k best with deterministic, schedule-independent tie
+// handling.
+func worse(a, b neighbor) bool {
+	return a.d > b.d || (a.d == b.d && a.idx > b.idx)
+}
+
+// kheap is a fixed-capacity max-heap of the k best neighbors seen so far.
+type kheap struct {
+	k  int
+	ns []neighbor
+}
+
+// full reports whether k candidates have been collected.
+func (h *kheap) full() bool { return len(h.ns) == h.k }
+
+// kth returns the current kth-best squared distance (+inf until full).
+func (h *kheap) kth() float64 {
+	if !h.full() {
+		return math.Inf(1)
+	}
+	return h.ns[0].d
+}
+
+// offer inserts a candidate if it beats the current kth best.
+func (h *kheap) offer(n neighbor) {
+	if !h.full() {
+		h.ns = append(h.ns, n)
+		// Sift up.
+		for c := len(h.ns) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !worse(h.ns[c], h.ns[p]) {
+				break
+			}
+			h.ns[c], h.ns[p] = h.ns[p], h.ns[c]
+			c = p
+		}
+		return
+	}
+	if !worse(h.ns[0], n) {
+		return
+	}
+	h.ns[0] = n
+	// Sift down.
+	for c := 0; ; {
+		l, r := 2*c+1, 2*c+2
+		w := c
+		if l < len(h.ns) && worse(h.ns[l], h.ns[w]) {
+			w = l
+		}
+		if r < len(h.ns) && worse(h.ns[r], h.ns[w]) {
+			w = r
+		}
+		if w == c {
+			break
+		}
+		h.ns[c], h.ns[w] = h.ns[w], h.ns[c]
+		c = w
+	}
+}
+
+// sorted returns the neighbors ascending by (distance, index).
+func (h *kheap) sorted() []neighbor {
+	out := append([]neighbor(nil), h.ns...)
+	sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
+	return out
+}
+
+// KNN is dual-tree k-nearest-neighbors: for every query point, find the k
+// closest reference points. The paper's KNN benchmark runs it over kd-trees
+// (k=5) and the VP benchmark runs the same algorithm over vantage-point
+// trees (k=10); only the spatial.Index construction differs.
+type KNN struct {
+	Query, Ref *spatial.Index
+	K          int
+
+	// Heaps[q] holds the current k best for original query point q.
+	Heaps []kheap
+
+	// PairOps counts point-pair distance evaluations.
+	PairOps int64
+
+	// bound[n] bounds the kth-best distance of any query point in n's
+	// subtree (infinite until every point there has k candidates).
+	bound []float64
+
+	selfJoin bool
+}
+
+// NewKNN returns a k-nearest-neighbor instance. Passing the same index for
+// query and ref excludes self pairs, the usual all-kNN convention.
+func NewKNN(query, ref *spatial.Index, k int) *KNN {
+	kn := &KNN{Query: query, Ref: ref, K: k, selfJoin: query == ref}
+	kn.Reset()
+	return kn
+}
+
+// Reset clears results and bounds between runs.
+func (kn *KNN) Reset() {
+	kn.Heaps = make([]kheap, kn.Query.Len())
+	for q := range kn.Heaps {
+		kn.Heaps[q] = kheap{k: kn.K, ns: make([]neighbor, 0, kn.K)}
+	}
+	kn.bound = make([]float64, kn.Query.Topo.Len())
+	for k := range kn.bound {
+		kn.bound[k] = math.Inf(1)
+	}
+	kn.PairOps = 0
+}
+
+// Spec assembles the nested-recursion template for this instance.
+func (kn *KNN) Spec() nest.Spec {
+	return nest.Spec{
+		Outer:      kn.Query.Topo,
+		Inner:      kn.Ref.Topo,
+		Hereditary: true,
+		TruncInner2: func(o, i tree.NodeID) bool {
+			return kn.Query.MinDist2(o, kn.Ref, i) > kn.bound[o]
+		},
+		Work: func(o, i tree.NodeID) {
+			if !kn.Query.Topo.IsLeaf(o) || !kn.Ref.Topo.IsLeaf(i) {
+				return
+			}
+			qs := kn.Query.NodePoints(o)
+			rs := kn.Ref.NodePoints(i)
+			kn.PairOps += int64(len(qs)) * int64(len(rs))
+			newBound := 0.0
+			for qk, q := range qs {
+				qi := kn.Query.Perm[int(kn.Query.Start[o])+qk]
+				h := &kn.Heaps[qi]
+				for rk, r := range rs {
+					ri := kn.Ref.Perm[int(kn.Ref.Start[i])+rk]
+					if kn.selfJoin && ri == qi {
+						continue
+					}
+					h.offer(neighbor{d: geom.Dist2(q, r), idx: ri})
+				}
+				if kb := h.kth(); kb > newBound {
+					newBound = kb
+				}
+			}
+			kn.tighten(o, newBound)
+		},
+	}
+}
+
+// tighten lowers the leaf's bound and propagates up, as in NN.
+func (kn *KNN) tighten(leaf tree.NodeID, b float64) {
+	topo := kn.Query.Topo
+	if b >= kn.bound[leaf] {
+		return
+	}
+	kn.bound[leaf] = b
+	for n := topo.Parent(leaf); n != tree.Nil; n = topo.Parent(n) {
+		nb := childBoundMax(topo, kn.bound, n)
+		if nb >= kn.bound[n] {
+			break
+		}
+		kn.bound[n] = nb
+	}
+}
+
+// Result returns, for original query point q, the sorted (ascending) squared
+// distances and reference indices of its k nearest neighbors.
+func (kn *KNN) Result(q int) ([]float64, []int32) {
+	ns := kn.Heaps[q].sorted()
+	ds := make([]float64, len(ns))
+	is := make([]int32, len(ns))
+	for k, n := range ns {
+		ds[k], is[k] = n.d, n.idx
+	}
+	return ds, is
+}
+
+// BruteKNN is the oracle: exhaustive k-nearest-neighbors with the same tie
+// rule. Returns per-query ascending (distance, index) lists.
+func BruteKNN(query, ref []geom.Point, k int, selfJoin bool) ([][]float64, [][]int32) {
+	ds := make([][]float64, len(query))
+	is := make([][]int32, len(query))
+	for qk, q := range query {
+		cands := make([]neighbor, 0, len(ref))
+		for rk, r := range ref {
+			if selfJoin && qk == rk {
+				continue
+			}
+			cands = append(cands, neighbor{d: geom.Dist2(q, r), idx: int32(rk)})
+		}
+		sort.Slice(cands, func(a, b int) bool { return worse(cands[b], cands[a]) })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		ds[qk] = make([]float64, len(cands))
+		is[qk] = make([]int32, len(cands))
+		for n, c := range cands {
+			ds[qk][n], is[qk][n] = c.d, c.idx
+		}
+	}
+	return ds, is
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"time"
+
+	"twist/internal/memsim"
+	"twist/internal/nest"
+	"twist/internal/tree"
+	"twist/internal/workloads"
+)
+
+// This file holds the design-choice ablations called out in DESIGN.md §4.5,
+// beyond what the paper itself evaluates: the truncation-flag representation
+// (§4.3), subtree truncation (§4.2), and node-payload stride (spatial
+// locality sensitivity, related-work §8).
+
+// FlagAblationRow compares the two truncation-flag representations on one
+// schedule of the PC workload.
+type FlagAblationRow struct {
+	Mode       nest.FlagMode
+	FlagSets   int64
+	FlagClears int64
+	Ops        int64
+	Wall       time.Duration
+}
+
+// AblationFlags runs twisted PC under both flag representations. The §4.3
+// claim made concrete: the counter mode performs zero flag-clear operations
+// and correspondingly fewer model ops.
+func AblationFlags(n int, radius float64, seed int64, repeats int) []FlagAblationRow {
+	in := workloads.PointCorr(n, radius, seed)
+	var rows []FlagAblationRow
+	for _, fm := range []nest.FlagMode{nest.FlagSets, nest.FlagCounter} {
+		e := nest.MustNew(in.Spec)
+		e.Flags = fm
+		d := timeBest(repeats, func() {
+			in.Reset()
+			e.Run(nest.Twisted())
+		})
+		rows = append(rows, FlagAblationRow{
+			Mode:       fm,
+			FlagSets:   e.Stats.FlagSets,
+			FlagClears: e.Stats.FlagClears,
+			Ops:        e.Stats.Ops(),
+			Wall:       d,
+		})
+	}
+	return rows
+}
+
+// SubtreeAblationRow compares twisting with and without §4.2 subtree
+// truncation.
+type SubtreeAblationRow struct {
+	Enabled     bool
+	Iterations  int64
+	SubtreeCuts int64
+	Wall        time.Duration
+}
+
+// AblationSubtree runs twisted PC with subtree truncation off and on.
+func AblationSubtree(n int, radius float64, seed int64, repeats int) []SubtreeAblationRow {
+	in := workloads.PointCorr(n, radius, seed)
+	var rows []SubtreeAblationRow
+	for _, on := range []bool{false, true} {
+		e := nest.MustNew(in.Spec)
+		e.SubtreeTruncation = on
+		d := timeBest(repeats, func() {
+			in.Reset()
+			e.Run(nest.Twisted())
+		})
+		rows = append(rows, SubtreeAblationRow{
+			Enabled:     on,
+			Iterations:  e.Stats.Iterations,
+			SubtreeCuts: e.Stats.SubtreeCuts,
+			Wall:        d,
+		})
+	}
+	return rows
+}
+
+// StrideAblationRow reports simulated miss rates of the tree join when a
+// node's payload occupies the given number of bytes (64 = one line per node,
+// the paper's §3.2 model; smaller strides pack preorder-adjacent nodes into
+// a line, adding the spatial locality that layout transformations (§8)
+// would provide).
+type StrideAblationRow struct {
+	Stride                      int
+	BaseL3, TwistL3             float64
+	BaseL3Misses, TwistL3Misses int64
+}
+
+// AblationStride runs the n-node tree join through the simulated hierarchy
+// at several node strides.
+func AblationStride(n int, strides []int, seed int64) []StrideAblationRow {
+	outer := tree.NewBalanced(n)
+	inner := tree.NewBalanced(n)
+	var rows []StrideAblationRow
+	for _, stride := range strides {
+		maps := memsim.DisjointMappers(2, memsim.Addr(stride))
+		measure := func(v nest.Variant) memsim.LevelStats {
+			h := SimHierarchy()
+			s := nest.Spec{
+				Outer: outer,
+				Inner: inner,
+				Work: func(o, i tree.NodeID) {
+					h.Access(maps[1].Addr(int32(i)))
+					h.Access(maps[0].Addr(int32(o)))
+				},
+			}
+			e := nest.MustNew(s)
+			e.Run(v) // warmup
+			h.ResetStats()
+			e.Run(v)
+			return h.Stats()[2]
+		}
+		base := measure(nest.Original())
+		tw := measure(nest.Twisted())
+		rows = append(rows, StrideAblationRow{
+			Stride:        stride,
+			BaseL3:        base.MissRate(),
+			TwistL3:       tw.MissRate(),
+			BaseL3Misses:  base.Misses,
+			TwistL3Misses: tw.Misses,
+		})
+	}
+	return rows
+}

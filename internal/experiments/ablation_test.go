@@ -1,0 +1,99 @@
+package experiments
+
+import "testing"
+
+func TestAblationFlagsCounterNeverClears(t *testing.T) {
+	rows := AblationFlags(2048, 0.4, 7, 1)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	sets, counter := rows[0], rows[1]
+	if sets.FlagSets == 0 || sets.FlagClears != sets.FlagSets {
+		t.Fatalf("set mode bookkeeping: %+v", sets)
+	}
+	if counter.FlagClears != 0 {
+		t.Fatalf("counter mode cleared %d flags", counter.FlagClears)
+	}
+	if counter.Ops >= sets.Ops {
+		t.Fatalf("counter mode ops %d not below set mode %d", counter.Ops, sets.Ops)
+	}
+}
+
+func TestAblationSubtreeReducesIterations(t *testing.T) {
+	rows := AblationSubtree(2048, 0.4, 7, 1)
+	off, on := rows[0], rows[1]
+	if off.Enabled || !on.Enabled {
+		t.Fatalf("row order: %+v", rows)
+	}
+	if on.SubtreeCuts == 0 {
+		t.Fatal("subtree truncation never fired")
+	}
+	if on.Iterations >= off.Iterations {
+		t.Fatalf("subtree truncation did not reduce iterations: %d vs %d", on.Iterations, off.Iterations)
+	}
+}
+
+func TestAblationStrideSpatialPacking(t *testing.T) {
+	rows := AblationStride(4096, []int{64, 16}, 3)
+	full, packed := rows[0], rows[1]
+	if full.Stride != 64 || packed.Stride != 16 {
+		t.Fatalf("row order: %+v", rows)
+	}
+	// One line per node: baseline thrashes (working set 2x the LLC).
+	if full.BaseL3 < 0.5 {
+		t.Fatalf("stride-64 baseline L3 rate %v; expected thrash", full.BaseL3)
+	}
+	// Packing 4 nodes per line shrinks the working set 4x (now ~LLC sized):
+	// absolute baseline misses must drop substantially.
+	if packed.BaseL3Misses*2 > full.BaseL3Misses {
+		t.Fatalf("packing did not reduce baseline L3 misses: %d vs %d",
+			packed.BaseL3Misses, full.BaseL3Misses)
+	}
+	// Twisting still wins (or ties) within every stride.
+	for _, r := range rows {
+		if r.TwistL3Misses > r.BaseL3Misses {
+			t.Fatalf("stride %d: twisting raised misses: %+v", r.Stride, r)
+		}
+	}
+}
+
+func TestKAryOctreeExtension(t *testing.T) {
+	rows := KAryOctree(4096, 0.3, 7)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	want := rows[0].Count
+	if want == 0 {
+		t.Fatal("degenerate octree PC")
+	}
+	byName := map[string]KAryRow{}
+	for _, r := range rows {
+		if r.Count != want {
+			t.Fatalf("%s: count %d, want %d", r.Schedule, r.Count, want)
+		}
+		byName[r.Schedule] = r
+	}
+	orig, inter := byName["original"], byName["interchanged"]
+	tw, cut := byName["twisted"], byName["twisted-cutoff"]
+	if inter.Iterations <= orig.Iterations {
+		t.Fatalf("interchange did not add iterations: %+v", rows)
+	}
+	// On bushy 8-ary trees parameterless twisting flips at every one of the
+	// many children, so its iteration overhead can exceed interchange's on
+	// denser spaces; it must still stay within a small factor of the
+	// original, and the §7.1 cutoff must recover near-original work.
+	if tw.Iterations > 2*orig.Iterations {
+		t.Fatalf("octree twisting iterations %d more than 2x original %d", tw.Iterations, orig.Iterations)
+	}
+	if float64(cut.Iterations) > 1.1*float64(orig.Iterations) {
+		t.Fatalf("cutoff twisting iterations %d not near original %d", cut.Iterations, orig.Iterations)
+	}
+	if tw.Twists == 0 {
+		t.Fatal("octree twisting never twisted")
+	}
+	// Locality: the octree baseline streams the reference tree per query
+	// (L2 ~ 90%+); both twisted variants must slash it.
+	if tw.L2 >= orig.L2/2 || cut.L2 >= orig.L2/2 {
+		t.Fatalf("octree twisting did not improve L2: %+v", rows)
+	}
+}

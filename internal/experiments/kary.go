@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"twist/internal/geom"
+	"twist/internal/knest"
+	"twist/internal/memsim"
+)
+
+// KAryRow is one schedule of the k-ary (octree) extension study: dual-tree
+// point correlation over an octree self-join, demonstrating that the
+// template's "additional recursive calls" generality (§2.1) carries the
+// paper's behaviour to 8-ary index spaces.
+type KAryRow struct {
+	Schedule   string
+	Count      int64
+	Iterations int64
+	Twists     int64
+	L2, L3     float64
+}
+
+// KAryOctree runs octree point correlation under each schedule, reporting
+// iteration counts and simulated miss rates.
+func KAryOctree(n int, radius float64, seed int64) []KAryRow {
+	pts := geom.Generate(geom.Uniform, n, seed)
+	oc := knest.MustBuildOctree(pts, 8)
+
+	const (
+		baseNodes  memsim.Addr = 1 << 30
+		baseNodes2 memsim.Addr = 2 << 30
+		basePts    memsim.Addr = 3 << 30
+		ptBytes                = 24
+	)
+	var rows []KAryRow
+	for _, v := range []knest.Variant{
+		knest.Original(), knest.Interchanged(), knest.Twisted(), knest.TwistedCutoff(64),
+	} {
+		var count int64
+		spec := knest.PCSpec(oc, oc, radius, &count)
+		h := SimHierarchy()
+		work := spec.Work
+		spec.Work = func(o, i knest.NodeID) {
+			h.Access(baseNodes2 + memsim.Addr(i)*64)
+			h.Access(baseNodes + memsim.Addr(o)*64)
+			if oc.Topo.IsLeaf(o) && oc.Topo.IsLeaf(i) {
+				for k := oc.Start[i] * ptBytes; k < oc.End[i]*ptBytes; k += 64 {
+					h.Access(basePts + memsim.Addr(k))
+				}
+				for k := oc.Start[o] * ptBytes; k < oc.End[o]*ptBytes; k += 64 {
+					h.Access(basePts + memsim.Addr(k))
+				}
+			}
+			work(o, i)
+		}
+		e := knest.MustNew(spec)
+		e.Run(v) // warmup pass for the cache simulation
+		h.ResetStats()
+		count = 0
+		e.Run(v)
+		st := h.Stats()
+		rows = append(rows, KAryRow{
+			Schedule:   v.String(),
+			Count:      count,
+			Iterations: e.Stats.Iterations,
+			Twists:     e.Stats.Twists,
+			L2:         st[1].MissRate(),
+			L3:         st[2].MissRate(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,100 @@
+// Package kdtree builds kd-trees (Bentley [4]) over point sets: each internal
+// node splits its points at the median along the longest axis of their
+// bounding box. kd-trees are the spatial index of the paper's PC, NN, and
+// KNN dual-tree benchmarks (§6.1).
+package kdtree
+
+import (
+	"twist/internal/geom"
+	"twist/internal/spatial"
+)
+
+// Build constructs a kd-tree over pts with at most leafSize points per leaf.
+// Node IDs are assigned in preorder, which is also the order node payloads
+// are laid out in the arena — the layout the memory simulation assumes.
+func Build(pts []geom.Point, leafSize int) (*spatial.Index, error) {
+	return spatial.Construct(pts, leafSize, medianSplit)
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(pts []geom.Point, leafSize int) *spatial.Index {
+	ix, err := Build(pts, leafSize)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// medianSplit partitions [lo, hi) at the median of the longest axis of the
+// range's bounding box. If every point is identical (zero-width box) the
+// node stays a leaf.
+func medianSplit(pts []geom.Point, perm []int32, lo, hi int32) int32 {
+	axis, width := geom.BoxOf(pts[lo:hi]).LongestAxis()
+	if width == 0 {
+		return lo // degenerate: all points coincide
+	}
+	mid := lo + (hi-lo)/2
+	quickselect(pts, perm, lo, hi, mid, axis)
+	// Points equal to the median value may straddle mid; move the split to
+	// the first occurrence of the median value so equal points stay together
+	// (and neither side ends up empty — the box has positive width on this
+	// axis, so not all values are equal).
+	mv := pts[mid][axis]
+	for mid > lo && pts[mid-1][axis] == mv {
+		mid--
+	}
+	if mid == lo {
+		mid = lo + (hi-lo)/2
+		for mid < hi && pts[mid][axis] == mv {
+			mid++
+		}
+	}
+	return mid
+}
+
+// quickselect rearranges pts[lo:hi] so the element with rank k (absolute
+// index) is in position, with smaller-on-axis elements before it. perm is
+// permuted in lockstep.
+func quickselect(pts []geom.Point, perm []int32, lo, hi, k int32, axis int) {
+	for hi-lo > 1 {
+		p := medianOfThree(pts, lo, hi, axis)
+		i, j := lo, hi-1
+		for i <= j {
+			for pts[i][axis] < p {
+				i++
+			}
+			for pts[j][axis] > p {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				perm[i], perm[j] = perm[j], perm[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// medianOfThree picks a pivot value from the first, middle, and last points.
+func medianOfThree(pts []geom.Point, lo, hi int32, axis int) float64 {
+	a := pts[lo][axis]
+	b := pts[lo+(hi-lo)/2][axis]
+	c := pts[hi-1][axis]
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	default:
+		return c
+	}
+}

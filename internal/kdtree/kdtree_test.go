@@ -1,0 +1,141 @@
+package kdtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twist/internal/geom"
+	"twist/internal/tree"
+)
+
+func TestBuildValidatesAcrossSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1000} {
+		for _, leaf := range []int{1, 4, 16} {
+			pts := geom.Generate(geom.Uniform, n, int64(n))
+			ix := MustBuild(pts, leaf)
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("n=%d leaf=%d: %v", n, leaf, err)
+			}
+			if ix.Len() != n {
+				t.Fatalf("n=%d: index holds %d points", n, ix.Len())
+			}
+		}
+	}
+}
+
+func TestLeafSizeRespected(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 500, 1)
+	const leaf = 8
+	ix := MustBuild(pts, leaf)
+	for n := tree.NodeID(0); int(n) < ix.Topo.Len(); n++ {
+		if ix.Topo.IsLeaf(n) && ix.Count(n) > leaf {
+			t.Fatalf("leaf %d holds %d points (max %d)", n, ix.Count(n), leaf)
+		}
+	}
+}
+
+func TestSplitsAreBalancedEnough(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 1<<12, 2)
+	ix := MustBuild(pts, 8)
+	// Median splits on continuous data should give near log-depth trees.
+	h := ix.Topo.Height()
+	if h > 2*13 {
+		t.Fatalf("kd-tree height %d too deep for %d points", h, len(pts))
+	}
+	root := ix.Topo.Root()
+	l, r := ix.Topo.Left(root), ix.Topo.Right(root)
+	if l == tree.Nil || r == tree.Nil {
+		t.Fatal("root of large tree is a leaf")
+	}
+	lc, rc := ix.Count(l), ix.Count(r)
+	if lc < rc/2 || rc < lc/2 {
+		t.Fatalf("root split %d/%d badly unbalanced", lc, rc)
+	}
+}
+
+func TestDuplicatePointsDoNotLoop(t *testing.T) {
+	pts := make([]geom.Point, 100)
+	for k := range pts {
+		pts[k] = geom.Point{1, 2, 3}
+	}
+	ix := MustBuild(pts, 4)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All identical points cannot be split: single leaf.
+	if ix.Topo.Len() != 1 {
+		t.Fatalf("identical points built %d nodes, want 1", ix.Topo.Len())
+	}
+}
+
+func TestMixedDuplicates(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 64, 3)
+	for k := 0; k < 32; k++ {
+		pts = append(pts, geom.Point{0.5, 0.5, 0.5})
+	}
+	ix := MustBuild(pts, 2)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermMapsPointsBack(t *testing.T) {
+	pts := geom.Generate(geom.Clustered, 300, 4)
+	ix := MustBuild(pts, 8)
+	for k, p := range ix.Points {
+		if pts[ix.Perm[k]] != p {
+			t.Fatalf("perm[%d]=%d maps to %v, stored %v", k, ix.Perm[k], pts[ix.Perm[k]], p)
+		}
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 100, 5)
+	orig := append([]geom.Point(nil), pts...)
+	MustBuild(pts, 4)
+	for k := range pts {
+		if pts[k] != orig[k] {
+			t.Fatalf("input point %d mutated", k)
+		}
+	}
+}
+
+func TestBuildRejectsBadLeafSize(t *testing.T) {
+	if _, err := Build(geom.Generate(geom.Uniform, 10, 1), 0); err == nil {
+		t.Fatal("leafSize 0 accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	ix := MustBuild(nil, 4)
+	if ix.Topo.Len() != 0 || ix.Len() != 0 {
+		t.Fatal("empty input built nodes")
+	}
+}
+
+// Property: every Build on random input validates and the root box spans the
+// input's bounding box exactly.
+func TestQuickBuildInvariants(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw)%200 + 1
+		pts := geom.Generate(geom.Clustered, n, seed)
+		ix, err := Build(pts, 4)
+		if err != nil || ix.Validate() != nil {
+			return false
+		}
+		want := geom.BoxOf(pts)
+		got := ix.Boxes[ix.Topo.Root()]
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	pts := geom.Generate(geom.Uniform, 1<<14, 1)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		MustBuild(pts, 16)
+	}
+}

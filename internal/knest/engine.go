@@ -1,0 +1,239 @@
+package knest
+
+import (
+	"errors"
+	"math"
+)
+
+// Spec is the k-ary nested recursion template: the paper's Fig 2 with any
+// number of recursive calls per invocation.
+type Spec struct {
+	Outer, Inner *Topology
+	TruncOuter   func(o NodeID) bool
+	TruncInner1  func(i NodeID) bool
+	TruncInner2  func(o, i NodeID) bool // nil ⇒ regular space
+	Work         func(o, i NodeID)
+	// Hereditary as in the binary engine: TruncInner2(o,i) implies the same
+	// for every descendant pair; enables subtree truncation (§4.2).
+	Hereditary bool
+}
+
+func (s *Spec) validate() error {
+	if s.Outer == nil || s.Inner == nil {
+		return errors.New("knest: Outer and Inner must be non-nil")
+	}
+	if s.Work == nil {
+		return errors.New("knest: Work must be non-nil")
+	}
+	return nil
+}
+
+// Stats mirrors the binary engine's operation counts.
+type Stats struct {
+	OuterCalls, InnerCalls int64
+	Iterations, Work       int64
+	TruncChecks, FlagSets  int64
+	SizeCompares, Twists   int64
+	SubtreeCuts            int64
+}
+
+// Variant selects a schedule.
+type Variant struct {
+	kind   int
+	cutoff int32
+}
+
+// The four schedules of the paper, k-ary editions.
+func Original() Variant     { return Variant{kind: 0} }
+func Interchanged() Variant { return Variant{kind: 1} }
+func Twisted() Variant      { return Variant{kind: 2} }
+func TwistedCutoff(c int) Variant {
+	if c < 0 || c > math.MaxInt32 {
+		panic("knest: cutoff out of range")
+	}
+	return Variant{kind: 3, cutoff: int32(c)}
+}
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	return [...]string{"original", "interchanged", "twisted", "twisted-cutoff"}[v.kind]
+}
+
+// Exec executes a Spec. Truncation flags use the §4.3 counter representation
+// (the set protocol's equivalence is established by the binary engine's
+// tests; only the optimized form is carried to the k-ary generalization).
+type Exec struct {
+	spec Spec
+	// SubtreeTruncation enables the §4.2 cut (needs Spec.Hereditary).
+	SubtreeTruncation bool
+	Stats             Stats
+
+	irregular bool
+	ctr       []int32
+	twist     bool
+	cutoff    int32
+}
+
+// New returns an Exec for the spec.
+func New(s Spec) (*Exec, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &Exec{spec: s, SubtreeTruncation: true, irregular: s.TruncInner2 != nil}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(s Spec) *Exec {
+	e, err := New(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Run executes the schedule from the roots.
+func (e *Exec) Run(v Variant) {
+	e.Stats = Stats{}
+	if e.irregular {
+		n := e.spec.Outer.Len()
+		if cap(e.ctr) < n {
+			e.ctr = make([]int32, n)
+		} else {
+			e.ctr = e.ctr[:n]
+			for k := range e.ctr {
+				e.ctr[k] = 0
+			}
+		}
+	}
+	o, i := e.spec.Outer.Root(), e.spec.Inner.Root()
+	switch v.kind {
+	case 0:
+		e.twist = false
+		e.outer(o, i)
+	case 1:
+		e.twist = false
+		e.outerSwapped(o, i)
+	case 2:
+		e.twist, e.cutoff = true, 0
+		e.outer(o, i)
+	case 3:
+		e.twist, e.cutoff = true, v.cutoff
+		e.outer(o, i)
+	}
+}
+
+func (e *Exec) truncO(o NodeID) bool {
+	return o == Nil || (e.spec.TruncOuter != nil && e.spec.TruncOuter(o))
+}
+
+func (e *Exec) truncI(i NodeID) bool {
+	return i == Nil || (e.spec.TruncInner1 != nil && e.spec.TruncInner1(i))
+}
+
+func (e *Exec) flagged(o, i NodeID) bool { return e.spec.Inner.Order(i) < e.ctr[o] }
+
+func (e *Exec) setFlag(o, i NodeID) {
+	e.Stats.FlagSets++
+	e.ctr[o] = e.spec.Inner.Next(i)
+}
+
+// outer is the original orientation (descends the outer tree), twisting per
+// child exactly as Fig 4(a), with the cutoff gate of §7.1.
+func (e *Exec) outer(o, i NodeID) {
+	e.Stats.OuterCalls++
+	if e.truncO(o) {
+		return
+	}
+	e.inner(o, i)
+	out, in := e.spec.Outer, e.spec.Inner
+	for _, c := range out.Kids(o) {
+		if e.twist {
+			e.Stats.SizeCompares++
+			if out.Size(c) <= in.Size(i) && in.Size(i) > e.cutoff {
+				e.Stats.Twists++
+				e.outerSwapped(c, i)
+				continue
+			}
+		}
+		e.outer(c, i)
+	}
+}
+
+func (e *Exec) inner(o, i NodeID) {
+	e.Stats.InnerCalls++
+	if e.truncI(i) {
+		return
+	}
+	if e.irregular {
+		e.Stats.TruncChecks++
+		if e.flagged(o, i) || e.spec.TruncInner2(o, i) {
+			return
+		}
+	}
+	e.Stats.Iterations++
+	e.Stats.Work++
+	e.spec.Work(o, i)
+	for _, c := range e.spec.Inner.Kids(i) {
+		e.inner(o, c)
+	}
+}
+
+// outerSwapped is the swapped orientation (descends the inner tree).
+func (e *Exec) outerSwapped(o, i NodeID) {
+	e.Stats.OuterCalls++
+	if e.truncI(i) {
+		return
+	}
+	if e.truncO(o) {
+		return
+	}
+	allTrunc := e.innerSwapped(o, i)
+	if allTrunc && e.SubtreeTruncation && e.irregular {
+		e.Stats.SubtreeCuts++
+		return
+	}
+	out, in := e.spec.Outer, e.spec.Inner
+	for _, c := range in.Kids(i) {
+		if e.twist {
+			e.Stats.SizeCompares++
+			if in.Size(c) <= out.Size(o) {
+				e.Stats.Twists++
+				e.outer(o, c)
+				continue
+			}
+		}
+		e.outerSwapped(o, c)
+	}
+}
+
+func (e *Exec) innerSwapped(o, i NodeID) bool {
+	e.Stats.InnerCalls++
+	if e.truncO(o) {
+		return true
+	}
+	truncated := false
+	if e.irregular {
+		e.Stats.TruncChecks++
+		if e.flagged(o, i) {
+			truncated = true
+		} else if e.spec.TruncInner2(o, i) {
+			e.setFlag(o, i)
+			truncated = true
+		}
+	}
+	e.Stats.Iterations++
+	if !truncated {
+		e.Stats.Work++
+		e.spec.Work(o, i)
+	} else if e.spec.Hereditary && e.SubtreeTruncation {
+		e.Stats.SubtreeCuts++
+		return true
+	}
+	all := truncated
+	for _, c := range e.spec.Outer.Kids(o) {
+		if !e.innerSwapped(c, i) {
+			all = false
+		}
+	}
+	return all
+}

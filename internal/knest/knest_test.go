@@ -1,0 +1,339 @@
+package knest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"twist/internal/dualtree"
+	"twist/internal/geom"
+)
+
+// randomKTree builds a random tree with arities in [1, maxArity].
+func randomKTree(n, maxArity int, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	root := b.Add()
+	open := []NodeID{root}
+	for len(b.kids)+1 <= n && len(open) > 0 {
+		k := rng.Intn(len(open))
+		p := open[k]
+		open[k] = open[len(open)-1]
+		open = open[:len(open)-1]
+		arity := rng.Intn(maxArity) + 1
+		for a := 0; a < arity && len(b.kids) < n; a++ {
+			c := b.Add()
+			b.AddChild(p, c)
+			open = append(open, c)
+		}
+	}
+	return b.MustBuild(root)
+}
+
+type kpair struct{ o, i NodeID }
+
+func runK(t *testing.T, s Spec, v Variant, subtree bool) []kpair {
+	t.Helper()
+	var out []kpair
+	s.Work = func(o, i NodeID) { out = append(out, kpair{o, i}) }
+	e := MustNew(s)
+	e.SubtreeTruncation = subtree
+	e.Run(v)
+	return out
+}
+
+func kset(ps []kpair) map[kpair]int {
+	m := map[kpair]int{}
+	for _, p := range ps {
+		m[p]++
+	}
+	return m
+}
+
+func TestTopologyBuilderAndValidate(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tr := randomKTree(200, 5, seed)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tr.Size(tr.Root()) != int32(tr.Len()) {
+			t.Fatalf("seed %d: root size %d of %d", seed, tr.Size(tr.Root()), tr.Len())
+		}
+		pre := tr.Preorder(nil)
+		if len(pre) != tr.Len() {
+			t.Fatalf("seed %d: preorder covers %d of %d", seed, len(pre), tr.Len())
+		}
+		for k, id := range pre {
+			if tr.Order(id) != int32(k) || tr.ByPreorder(int32(k)) != id {
+				t.Fatalf("seed %d: preorder map broken at %d", seed, k)
+			}
+			if tr.Next(id) != tr.Order(id)+tr.Size(id) {
+				t.Fatalf("seed %d: next broken at %d", seed, id)
+			}
+		}
+	}
+}
+
+func TestEmptyTopology(t *testing.T) {
+	tr := NewBuilder(0).MustBuild(Nil)
+	if tr.Len() != 0 || tr.Root() != Nil || tr.Validate() != nil {
+		t.Fatal("empty k-ary topology malformed")
+	}
+}
+
+// Regular k-ary spaces: every schedule executes the exact cross product.
+func TestKAryPermutationProperty(t *testing.T) {
+	outer := randomKTree(40, 4, 1)
+	inner := randomKTree(35, 6, 2)
+	want := map[kpair]int{}
+	for _, o := range outer.Preorder(nil) {
+		for _, i := range inner.Preorder(nil) {
+			want[kpair{o, i}] = 1
+		}
+	}
+	for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(6)} {
+		got := kset(runK(t, Spec{Outer: outer, Inner: inner}, v, true))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: iteration multiset differs from cross product", v)
+		}
+	}
+}
+
+// Column order (fixed outer node, inner preorder) is preserved, as in §3.3.
+func TestKAryColumnOrderPreserved(t *testing.T) {
+	outer := randomKTree(30, 3, 3)
+	inner := randomKTree(30, 5, 4)
+	s := Spec{Outer: outer, Inner: inner}
+	column := func(ps []kpair, o NodeID) []NodeID {
+		var is []NodeID
+		for _, p := range ps {
+			if p.o == o {
+				is = append(is, p.i)
+			}
+		}
+		return is
+	}
+	ref := runK(t, s, Original(), true)
+	for _, v := range []Variant{Interchanged(), Twisted()} {
+		got := runK(t, s, v, true)
+		for o := NodeID(0); int(o) < outer.Len(); o++ {
+			if !reflect.DeepEqual(column(got, o), column(ref, o)) {
+				t.Fatalf("%v: column %d reordered", v, o)
+			}
+		}
+	}
+}
+
+// Irregular k-ary truncation: the executed set matches the template
+// semantics under every schedule.
+func TestKAryIrregularTruncation(t *testing.T) {
+	outer := randomKTree(35, 4, 5)
+	inner := randomKTree(30, 4, 6)
+	rng := rand.New(rand.NewSource(7))
+	level := make([]float64, outer.Len())
+	thresh := make([]float64, inner.Len())
+	for k := range level {
+		level[k] = rng.Float64()
+	}
+	for k := range thresh {
+		thresh[k] = rng.Float64()
+	}
+	// Make it fully hereditary for the subtree-truncation runs.
+	for _, o := range outer.Preorder(nil) {
+		if p := outer.Parent(o); p != Nil && level[o] < level[p] {
+			level[o] = level[p]
+		}
+	}
+	for _, i := range inner.Preorder(nil) {
+		if p := inner.Parent(i); p != Nil && thresh[i] > thresh[p] {
+			thresh[i] = thresh[p]
+		}
+	}
+	s := Spec{
+		Outer:       outer,
+		Inner:       inner,
+		Hereditary:  true,
+		TruncInner2: func(o, i NodeID) bool { return level[o] > thresh[i] },
+	}
+	// Expected set from template semantics.
+	want := map[kpair]int{}
+	var down func(o, i NodeID)
+	for _, o := range outer.Preorder(nil) {
+		down = func(o, i NodeID) {
+			if s.TruncInner2(o, i) {
+				return
+			}
+			want[kpair{o, i}] = 1
+			for _, c := range inner.Kids(i) {
+				down(o, c)
+			}
+		}
+		down(o, inner.Root())
+	}
+	for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(4)} {
+		for _, subtree := range []bool{false, true} {
+			got := kset(runK(t, s, v, subtree))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v subtree=%v: executed set differs from template semantics", v, subtree)
+			}
+		}
+	}
+}
+
+func TestKArySpecValidation(t *testing.T) {
+	tr := randomKTree(5, 3, 9)
+	if _, err := New(Spec{Outer: tr, Inner: tr}); err == nil {
+		t.Fatal("nil Work accepted")
+	}
+	if _, err := New(Spec{Inner: tr, Work: func(o, i NodeID) {}}); err == nil {
+		t.Fatal("nil Outer accepted")
+	}
+}
+
+// --- octree -----------------------------------------------------------------
+
+func TestOctreeBuildValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 2000} {
+		for _, dist := range []geom.Distribution{geom.Uniform, geom.Clustered} {
+			pts := geom.Generate(dist, n, int64(n))
+			oc := MustBuildOctree(pts, 8)
+			if oc.Topo.Len() == 0 {
+				t.Fatalf("n=%d: empty octree", n)
+			}
+			if got := oc.End[oc.Topo.Root()] - oc.Start[oc.Topo.Root()]; got != int32(n) {
+				t.Fatalf("n=%d: root owns %d points", n, got)
+			}
+		}
+	}
+}
+
+func TestOctreeArityUpToEight(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 4096, 11)
+	oc := MustBuildOctree(pts, 8)
+	maxArity := 0
+	for _, id := range oc.Topo.Preorder(nil) {
+		if a := oc.Topo.Arity(id); a > maxArity {
+			maxArity = a
+		}
+		if oc.Topo.Arity(id) > 8 {
+			t.Fatalf("node %d has arity %d", id, oc.Topo.Arity(id))
+		}
+	}
+	if maxArity < 7 {
+		t.Fatalf("uniform points never produced a high-arity split (max %d)", maxArity)
+	}
+}
+
+func TestOctreeIdenticalPoints(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for k := range pts {
+		pts[k] = geom.Point{0.3, 0.3, 0.3}
+	}
+	oc := MustBuildOctree(pts, 4)
+	if oc.Topo.Len() != 1 {
+		t.Fatalf("identical points built %d nodes", oc.Topo.Len())
+	}
+}
+
+func TestOctreeRejectsBadLeafSize(t *testing.T) {
+	if _, err := BuildOctree(geom.Generate(geom.Uniform, 5, 1), 0); err == nil {
+		t.Fatal("leafSize 0 accepted")
+	}
+}
+
+// The full k-ary pipeline: dual-tree point correlation on octrees agrees
+// with brute force under every schedule — the generalized template end to
+// end, truncation flags included.
+func TestOctreePCMatchesBruteForceAllSchedules(t *testing.T) {
+	qpts := geom.Generate(geom.Clustered, 600, 13)
+	rpts := geom.Generate(geom.Clustered, 500, 14)
+	const radius = 0.1
+	want := dualtree.BrutePC(qpts, rpts, radius, false)
+	if want == 0 {
+		t.Fatal("degenerate oracle")
+	}
+	q := MustBuildOctree(qpts, 8)
+	r := MustBuildOctree(rpts, 8)
+	var count int64
+	spec := PCSpec(q, r, radius, &count)
+	e := MustNew(spec)
+	for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(32)} {
+		count = 0
+		e.Run(v)
+		if count != want {
+			t.Fatalf("%v: count %d, want %d", v, count, want)
+		}
+	}
+}
+
+// The §4.2 iteration shape carries over to k-ary spaces.
+func TestOctreeIterationShape(t *testing.T) {
+	pts := geom.Generate(geom.Clustered, 3000, 15)
+	oc := MustBuildOctree(pts, 8)
+	var count int64
+	e := MustNew(PCSpec(oc, oc, 0.05, &count))
+	run := func(v Variant, subtree bool) Stats {
+		count = 0
+		e.SubtreeTruncation = subtree
+		e.Run(v)
+		return e.Stats
+	}
+	orig := run(Original(), true)
+	inter := run(Interchanged(), false)
+	tw := run(Twisted(), true)
+	if !(inter.Iterations > tw.Iterations && tw.Iterations >= orig.Iterations) {
+		t.Fatalf("k-ary §4.2 ordering violated: orig=%d tw=%d inter=%d",
+			orig.Iterations, tw.Iterations, inter.Iterations)
+	}
+	if tw.Twists == 0 {
+		t.Fatal("k-ary twisting never twisted")
+	}
+}
+
+// Property: random k-ary shapes keep the permutation property under
+// twisting.
+func TestQuickKAryTwistedPermutation(t *testing.T) {
+	f := func(seedO, seedI int64, rawNO, rawNI, rawA uint8) bool {
+		no, ni := int(rawNO%50)+1, int(rawNI%50)+1
+		arity := int(rawA%6) + 1
+		outer := randomKTree(no, arity, seedO)
+		inner := randomKTree(ni, arity, seedI)
+		var got []kpair
+		s := Spec{Outer: outer, Inner: inner, Work: func(o, i NodeID) {
+			got = append(got, kpair{o, i})
+		}}
+		e := MustNew(s)
+		e.Run(Twisted())
+		if len(got) != no*ni {
+			return false
+		}
+		seen := map[kpair]bool{}
+		for _, p := range got {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOctreePC(b *testing.B) {
+	pts := geom.Generate(geom.Clustered, 1<<12, 1)
+	oc := MustBuildOctree(pts, 8)
+	var count int64
+	e := MustNew(PCSpec(oc, oc, 0.05, &count))
+	for _, v := range []Variant{Original(), Twisted()} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				count = 0
+				e.Run(v)
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Package knest generalizes the scheduling transformations of internal/nest
+// to recursions with an arbitrary number of recursive calls per invocation.
+// The paper's template explicitly permits this (§2.1: "there is no reason
+// there cannot be additional recursive calls in each of the recursions"),
+// but its prototype tool — like the binary engine — handles exactly two.
+// k-ary index spaces arise naturally from quadtrees and octrees, the usual
+// spatial structures of n-body codes.
+//
+// The package provides the k-ary arena topology, an octree builder over 3-D
+// points, and the four schedules (Original, Interchanged, Twisted,
+// TwistedCutoff) with the §4 truncation machinery in its §4.3 counter
+// representation.
+package knest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node within a Topology; Nil is the absent node.
+type NodeID int32
+
+// Nil is the absent-node sentinel.
+const Nil NodeID = -1
+
+// Topology is the shape of a tree with per-node variable arity, stored in
+// flat arrays: node n's children are kids[kidStart[n]:kidStart[n+1]].
+type Topology struct {
+	kidStart []int32
+	kids     []NodeID
+	parent   []NodeID
+	size     []int32
+	order    []int32
+	next     []int32
+	byPre    []NodeID
+	root     NodeID
+}
+
+// Len reports the number of nodes.
+func (t *Topology) Len() int { return len(t.parent) }
+
+// Root returns the root node, or Nil for an empty tree.
+func (t *Topology) Root() NodeID { return t.root }
+
+// Kids returns node n's children (shared slice; do not modify).
+func (t *Topology) Kids(n NodeID) []NodeID {
+	return t.kids[t.kidStart[n]:t.kidStart[n+1]]
+}
+
+// Arity returns the number of children of n.
+func (t *Topology) Arity(n NodeID) int { return int(t.kidStart[n+1] - t.kidStart[n]) }
+
+// IsLeaf reports whether n has no children.
+func (t *Topology) IsLeaf(n NodeID) bool { return t.Arity(n) == 0 }
+
+// Parent returns n's parent, or Nil for the root.
+func (t *Topology) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// Size returns the subtree size of n (0 for Nil).
+func (t *Topology) Size(n NodeID) int32 {
+	if n == Nil {
+		return 0
+	}
+	return t.size[n]
+}
+
+// Order returns n's preorder index; Next the first preorder index past n's
+// subtree (the §4.3 counter pair).
+func (t *Topology) Order(n NodeID) int32 { return t.order[n] }
+
+// Next returns Order(n) + Size(n).
+func (t *Topology) Next(n NodeID) int32 { return t.next[n] }
+
+// ByPreorder returns the node with preorder index k.
+func (t *Topology) ByPreorder(k int32) NodeID { return t.byPre[k] }
+
+// Preorder appends all nodes in preorder to dst.
+func (t *Topology) Preorder(dst []NodeID) []NodeID {
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		dst = append(dst, n)
+		for _, c := range t.Kids(n) {
+			walk(c)
+		}
+	}
+	if t.root != Nil {
+		walk(t.root)
+	}
+	return dst
+}
+
+// Validate checks reachability, parent links, sizes, and the preorder maps.
+func (t *Topology) Validate() error {
+	n := t.Len()
+	if n == 0 {
+		if t.root != Nil {
+			return errors.New("knest: empty topology with root")
+		}
+		return nil
+	}
+	if t.root < 0 || int(t.root) >= n || t.parent[t.root] != Nil {
+		return fmt.Errorf("knest: bad root %d", t.root)
+	}
+	seen := make([]bool, n)
+	count := 0
+	var walk func(id NodeID) (int32, error)
+	walk = func(id NodeID) (int32, error) {
+		if id < 0 || int(id) >= n {
+			return 0, fmt.Errorf("knest: node %d out of range", id)
+		}
+		if seen[id] {
+			return 0, fmt.Errorf("knest: node %d reachable twice", id)
+		}
+		seen[id] = true
+		count++
+		sz := int32(1)
+		for _, c := range t.Kids(id) {
+			if t.parent[c] != id {
+				return 0, fmt.Errorf("knest: child %d of %d has parent %d", c, id, t.parent[c])
+			}
+			cs, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			sz += cs
+		}
+		if t.size[id] != sz {
+			return 0, fmt.Errorf("knest: node %d size %d, computed %d", id, t.size[id], sz)
+		}
+		if t.next[id] != t.order[id]+sz {
+			return 0, fmt.Errorf("knest: node %d next/order/size inconsistent", id)
+		}
+		return sz, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	if count != n {
+		return fmt.Errorf("knest: %d of %d nodes reachable", count, n)
+	}
+	for k := int32(0); int(k) < n; k++ {
+		if t.order[t.byPre[k]] != k {
+			return fmt.Errorf("knest: preorder map broken at %d", k)
+		}
+	}
+	return nil
+}
+
+// Builder assembles a k-ary topology. Children must be attached to a node
+// before that node is attached to its own parent is NOT required — links
+// may be made in any order before Build.
+type Builder struct {
+	kids   [][]NodeID
+	parent []NodeID
+}
+
+// NewBuilder returns a Builder with capacity for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{kids: make([][]NodeID, 0, n), parent: make([]NodeID, 0, n)}
+}
+
+// Add appends a childless node and returns its id.
+func (b *Builder) Add() NodeID {
+	id := NodeID(len(b.kids))
+	b.kids = append(b.kids, nil)
+	b.parent = append(b.parent, Nil)
+	return id
+}
+
+// AddChild appends c to p's child list.
+func (b *Builder) AddChild(p, c NodeID) {
+	b.kids[p] = append(b.kids[p], c)
+	b.parent[c] = p
+}
+
+// Build finalizes and validates the topology.
+func (b *Builder) Build(root NodeID) (*Topology, error) {
+	n := len(b.kids)
+	t := &Topology{
+		kidStart: make([]int32, n+1),
+		parent:   b.parent,
+		size:     make([]int32, n),
+		order:    make([]int32, n),
+		next:     make([]int32, n),
+		byPre:    make([]NodeID, n),
+		root:     root,
+	}
+	if n == 0 {
+		t.root = Nil
+		return t, nil
+	}
+	for id, ks := range b.kids {
+		t.kidStart[id+1] = t.kidStart[id] + int32(len(ks))
+		t.kids = append(t.kids, ks...)
+	}
+	var pre int32
+	visited := make([]bool, n)
+	var walk func(id NodeID) int32
+	walk = func(id NodeID) int32 {
+		if id < 0 || int(id) >= n || visited[id] {
+			return 0
+		}
+		visited[id] = true
+		t.order[id] = pre
+		t.byPre[pre] = id
+		pre++
+		sz := int32(1)
+		for _, c := range t.Kids(id) {
+			sz += walk(c)
+		}
+		t.size[id] = sz
+		t.next[id] = t.order[id] + sz
+		return sz
+	}
+	if root >= 0 && int(root) < n {
+		walk(root)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild(root NodeID) *Topology {
+	t, err := b.Build(root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

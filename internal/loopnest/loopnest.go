@@ -1,0 +1,116 @@
+// Package loopnest is the §7.2 front-end: it translates a doubly-nested for
+// loop into a nested recursion (the divide-and-conquer decomposition
+// languages like Cilk apply to loops) so that recursion twisting can act as
+// an automatic, parameterless multi-level loop-tiling transformation.
+//
+// The iteration space of
+//
+//	for o := 0; o < n; o++ {
+//	    for i := 0; i < m; i++ { body(o, i) }
+//	}
+//
+// becomes the cross product of two balanced range trees whose leaves are the
+// index values; work fires at leaf×leaf pairs. Running the Twisted schedule
+// then yields the nested-tile order the paper relates to cache-oblivious
+// algorithms and to Yi, Adve & Kennedy's divide-and-conquer loop schedules
+// (§7.2, §8) — with no tile-size or cache parameters.
+package loopnest
+
+import (
+	"fmt"
+
+	"twist/internal/nest"
+	"twist/internal/tree"
+)
+
+// Nest is a doubly-nested loop recast as a nested recursive iteration space.
+type Nest struct {
+	n, m             int
+	outerTopo        *tree.Topology
+	innerTopo        *tree.Topology
+	outerLo, outerHi []int32 // leaf -> index run [lo, hi) (-1 for internal nodes)
+	innerLo, innerHi []int32
+}
+
+// rangeTree builds a balanced binary recursion over [0, n) whose leaves are
+// runs of at most leaf consecutive indices; los/his give each leaf's run
+// [lo, hi) (-1/-1 for internal nodes).
+func rangeTree(n int, leaf int32) (topo *tree.Topology, los, his []int32) {
+	b := tree.NewBuilder(2*n - 1)
+	var build func(lo, hi int32) tree.NodeID
+	build = func(lo, hi int32) tree.NodeID {
+		id := b.Add()
+		if hi-lo <= leaf {
+			los = append(los, lo)
+			his = append(his, hi)
+			return id
+		}
+		los = append(los, -1)
+		his = append(his, -1)
+		mid := lo + (hi-lo)/2
+		b.SetLeft(id, build(lo, mid))
+		b.SetRight(id, build(mid, hi))
+		return id
+	}
+	root := build(0, int32(n))
+	return b.MustBuild(root), los, his
+}
+
+// New builds the recursive decomposition of an n×m loop nest. leafRun is the
+// granularity cutoff — the number of consecutive indices handled by one leaf
+// (Cilk's grain size); 1 decomposes fully.
+func New(n, m, leafRun int) (*Nest, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("loopnest: bounds must be positive, got %d x %d", n, m)
+	}
+	if leafRun < 1 {
+		return nil, fmt.Errorf("loopnest: leafRun must be >= 1, got %d", leafRun)
+	}
+	ln := &Nest{n: n, m: m}
+	ln.outerTopo, ln.outerLo, ln.outerHi = rangeTree(n, int32(leafRun))
+	ln.innerTopo, ln.innerLo, ln.innerHi = rangeTree(m, int32(leafRun))
+	return ln, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(n, m, leafRun int) *Nest {
+	ln, err := New(n, m, leafRun)
+	if err != nil {
+		panic(err)
+	}
+	return ln
+}
+
+// Bounds returns the loop bounds (n, m).
+func (ln *Nest) Bounds() (n, m int) { return ln.n, ln.m }
+
+// Spec assembles the nested recursion whose leaf×leaf work runs body over
+// the corresponding index runs, in ascending order within each run pair.
+func (ln *Nest) Spec(body func(o, i int)) nest.Spec {
+	outT, inT := ln.outerTopo, ln.innerTopo
+	oLo, oHi, iLo, iHi := ln.outerLo, ln.outerHi, ln.innerLo, ln.innerHi
+	return nest.Spec{
+		Outer: outT,
+		Inner: inT,
+		Work: func(o, i tree.NodeID) {
+			ob, ib := oLo[o], iLo[i]
+			if ob < 0 || ib < 0 {
+				return
+			}
+			for x := ob; x < oHi[o]; x++ {
+				for y := ib; y < iHi[i]; y++ {
+					body(int(x), int(y))
+				}
+			}
+		},
+	}
+}
+
+// Run executes the loop nest under the given schedule. Original() gives the
+// source loop order (row-major); Twisted() gives the parameterless
+// multi-level-tiled order.
+func (ln *Nest) Run(body func(o, i int), v nest.Variant) *nest.Exec {
+	e := nest.MustNew(ln.Spec(body))
+	e.Run(v)
+	return e
+}

@@ -1,0 +1,197 @@
+package loopnest
+
+import (
+	"reflect"
+	"testing"
+
+	"twist/internal/memsim"
+	"twist/internal/nest"
+)
+
+type it struct{ o, i int }
+
+func collect(ln *Nest, v nest.Variant) []it {
+	var out []it
+	ln.Run(func(o, i int) { out = append(out, it{o, i}) }, v)
+	return out
+}
+
+func TestOriginalIsSourceLoopOrder(t *testing.T) {
+	// With full decomposition (leafRun 1) the Original schedule is exactly
+	// the source loop order; coarser grains iterate leaf blocks but keep
+	// each row's inner indices ascending (checked separately below).
+	ln := MustNew(7, 5, 1)
+	got := collect(ln, nest.Original())
+	var want []it
+	for o := 0; o < 7; o++ {
+		for i := 0; i < 5; i++ {
+			want = append(want, it{o, i})
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("original order is not the source loop order:\n%v", got)
+	}
+}
+
+func TestCoarseGrainRowOrderAscending(t *testing.T) {
+	for _, leafRun := range []int{2, 3, 4} {
+		ln := MustNew(7, 5, leafRun)
+		for _, v := range []nest.Variant{nest.Original(), nest.Twisted()} {
+			last := map[int]int{}
+			count := 0
+			ln.Run(func(o, i int) {
+				if prev, ok := last[o]; ok && i <= prev {
+					t.Fatalf("leafRun=%d %v: row %d visits i=%d after i=%d", leafRun, v, o, i, prev)
+				}
+				last[o] = i
+				count++
+			}, v)
+			if count != 35 {
+				t.Fatalf("leafRun=%d %v: %d iterations", leafRun, v, count)
+			}
+		}
+	}
+}
+
+func TestTwistedIsPermutation(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {16, 4}, {5, 31}, {1, 9}, {9, 1}} {
+		ln := MustNew(dims[0], dims[1], 1)
+		got := collect(ln, nest.Twisted())
+		if len(got) != dims[0]*dims[1] {
+			t.Fatalf("%v: %d iterations", dims, len(got))
+		}
+		seen := map[it]bool{}
+		for _, x := range got {
+			if seen[x] {
+				t.Fatalf("%v: iteration %v executed twice", dims, x)
+			}
+			if x.o < 0 || x.o >= dims[0] || x.i < 0 || x.i >= dims[1] {
+				t.Fatalf("%v: iteration %v out of bounds", dims, x)
+			}
+			seen[x] = true
+		}
+	}
+}
+
+// Per-column order (fixed o, ascending i) is preserved by every schedule —
+// the loop-nest analog of §3.3's intra-traversal dependence preservation.
+func TestColumnOrderAscending(t *testing.T) {
+	ln := MustNew(12, 12, 1)
+	for _, v := range []nest.Variant{nest.Interchanged(), nest.Twisted(), nest.TwistedCutoff(4)} {
+		got := collect(ln, v)
+		last := map[int]int{}
+		for _, x := range got {
+			if prev, ok := last[x.o]; ok && x.i <= prev {
+				t.Fatalf("%v: column %d visits i=%d after i=%d", v, x.o, x.i, prev)
+			}
+			last[x.o] = x.i
+		}
+	}
+}
+
+// The point of §7.2: twisting the recursive decomposition tiles the loop
+// nest. Measured as the mean reuse distance of inner-index "accesses", which
+// the original order keeps at Θ(m) while twisting collapses it.
+func TestTwistingTilesTheLoopNest(t *testing.T) {
+	const n, m = 64, 64
+	mean := func(v nest.Variant) float64 {
+		ln := MustNew(n, m, 1)
+		ra := memsim.NewReuseAnalyzer()
+		h := memsim.NewHistogram()
+		ln.Run(func(o, i int) { h.Add(ra.Access(memsim.Addr(i))) }, v)
+		return h.Mean()
+	}
+	orig := mean(nest.Original())
+	tw := mean(nest.Twisted())
+	if orig < float64(m)-2 {
+		t.Fatalf("original mean inner reuse distance %v, want ≈ %d", orig, m)
+	}
+	if tw > orig/2 {
+		t.Fatalf("twisted mean reuse distance %v not well below original %v", tw, orig)
+	}
+}
+
+func TestLeafRunGranularity(t *testing.T) {
+	// Larger leaf runs mean fewer recursion nodes but identical iterations.
+	fine := MustNew(33, 17, 1)
+	coarse := MustNew(33, 17, 8)
+	if coarse.outerTopo.Len() >= fine.outerTopo.Len() {
+		t.Fatal("coarser grain did not shrink the recursion")
+	}
+	a := collect(fine, nest.Twisted())
+	b := collect(coarse, nest.Twisted())
+	seen := map[it]bool{}
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			t.Fatalf("coarse run executed unknown iteration %v", x)
+		}
+	}
+	if len(a) != len(b) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(5, -1, 1); err == nil {
+		t.Fatal("m<0 accepted")
+	}
+	if _, err := New(5, 5, 0); err == nil {
+		t.Fatal("leafRun=0 accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	ln := MustNew(6, 9, 2)
+	if n, m := ln.Bounds(); n != 6 || m != 9 {
+		t.Fatalf("Bounds = %d,%d", n, m)
+	}
+}
+
+// Matrix-vector multiply through the loop front-end: the §7.2 example of
+// getting cache-oblivious-like behaviour from plain loops.
+func TestMatVecThroughLoopNest(t *testing.T) {
+	const n, m = 37, 23
+	a := make([]float64, n*m)
+	x := make([]float64, m)
+	for k := range a {
+		a[k] = float64(k%7) / 3
+	}
+	for k := range x {
+		x[k] = float64(k%5) + 0.5
+	}
+	want := make([]float64, n)
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			want[o] += a[o*m+i] * x[i]
+		}
+	}
+	ln := MustNew(n, m, 2)
+	got := make([]float64, n)
+	ln.Run(func(o, i int) { got[o] += a[o*m+i] * x[i] }, nest.Twisted())
+	// Within a row, i ascends under every schedule (column-order property),
+	// so even float accumulation is bit-identical.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("twisted matrix-vector product differs from loop order")
+	}
+}
+
+func BenchmarkLoopNestSchedules(b *testing.B) {
+	ln := MustNew(256, 256, 4)
+	var sink float64
+	body := func(o, i int) { sink += float64(o ^ i) }
+	for _, v := range []nest.Variant{nest.Original(), nest.Twisted()} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				ln.Run(body, v)
+			}
+		})
+	}
+	_ = sink
+}

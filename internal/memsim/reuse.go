@@ -1,0 +1,149 @@
+// Package memsim provides the trace-driven memory-hierarchy analysis that
+// stands in for the paper's hardware measurements (DESIGN.md §1): an exact
+// LRU stack/reuse-distance analyzer (for Fig 5) and a multi-level
+// set-associative cache simulator (for Fig 8b and Fig 9b).
+//
+// Both consume abstract address traces. The schedules under study emit one
+// address per tree-node access, produced by a Mapper from the arena node
+// index, so the simulated behaviour is a pure function of the schedule — the
+// quantity the paper's transformations change.
+package memsim
+
+// Addr is an abstract memory address (byte-granular).
+type Addr uint64
+
+// Infinite is the reuse distance reported for the first access to an address
+// (the paper's ∞ entries in §3.2).
+const Infinite = -1
+
+// ReuseAnalyzer computes exact LRU stack distances ("reuse distances",
+// Mattson et al. [24]) online: for each access, the number of *distinct*
+// other addresses touched since the previous access to the same address.
+//
+// The implementation is the classic Bennett–Kruskal scheme: each address
+// remembers the time of its last access; a Fenwick tree over time holds a 1
+// at the most recent access position of every address; the stack distance of
+// an access at time t to an address last touched at time t0 is the number of
+// ones in (t0, t).
+type ReuseAnalyzer struct {
+	last map[Addr]int
+	bit  []int // Fenwick tree, 1-indexed over access times
+	time int
+}
+
+// NewReuseAnalyzer returns an analyzer with no history.
+func NewReuseAnalyzer() *ReuseAnalyzer {
+	return &ReuseAnalyzer{last: make(map[Addr]int), bit: make([]int, 1)}
+}
+
+func (r *ReuseAnalyzer) bitAdd(i, v int) {
+	for ; i < len(r.bit); i += i & (-i) {
+		r.bit[i] += v
+	}
+}
+
+func (r *ReuseAnalyzer) bitSum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += r.bit[i]
+	}
+	return s
+}
+
+// Access records an access to a and returns its reuse distance, or Infinite
+// if a has never been accessed before.
+func (r *ReuseAnalyzer) Access(a Addr) int {
+	r.time++
+	t := r.time
+	// Grow the Fenwick tree by exactly one slot. A new node at index t
+	// covers the range (t-lowbit(t), t]; its initial value is the sum of the
+	// existing marks in that range (the mark at t itself is added below).
+	lb := t & (-t)
+	r.bit = append(r.bit, r.bitSum(t-1)-r.bitSum(t-lb))
+	d := Infinite
+	if t0, ok := r.last[a]; ok {
+		// Ones strictly between t0 and t: distinct addresses since t0.
+		d = r.bitSum(t-1) - r.bitSum(t0)
+		r.bitAdd(t0, -1)
+	}
+	r.last[a] = t
+	r.bitAdd(t, 1)
+	return d
+}
+
+// Distinct reports how many distinct addresses have been accessed so far.
+func (r *ReuseAnalyzer) Distinct() int { return len(r.last) }
+
+// Histogram aggregates reuse distances into the CDF the paper plots in Fig 5:
+// "percentage of accesses with reuse distance less than r".
+type Histogram struct {
+	counts   map[int]int64
+	total    int64
+	infinite int64
+	max      int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records one reuse distance (Infinite for a cold access).
+func (h *Histogram) Add(d int) {
+	h.total++
+	if d == Infinite {
+		h.infinite++
+		return
+	}
+	h.counts[d]++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Total returns the number of recorded accesses.
+func (h *Histogram) Total() int64 { return h.total }
+
+// InfiniteCount returns the number of cold (first-touch) accesses.
+func (h *Histogram) InfiniteCount() int64 { return h.infinite }
+
+// CDF returns the fraction of all accesses whose reuse distance is strictly
+// less than r. Cold accesses never count (their distance is infinite).
+func (h *Histogram) CDF(r int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for d, c := range h.counts {
+		if d < r {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Series evaluates the CDF at each of rs and returns the fractions; rs is
+// typically a log-spaced grid matching the paper's log-scale x axis.
+func (h *Histogram) Series(rs []int) []float64 {
+	out := make([]float64, len(rs))
+	for k, r := range rs {
+		out[k] = h.CDF(r)
+	}
+	return out
+}
+
+// Max returns the largest finite distance recorded (0 if none).
+func (h *Histogram) Max() int { return h.max }
+
+// Mean returns the mean finite reuse distance (0 if none recorded).
+func (h *Histogram) Mean() float64 {
+	var sum, n int64
+	for d, c := range h.counts {
+		sum += int64(d) * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,116 @@
+package nest
+
+import (
+	"testing"
+
+	"twist/internal/tree"
+)
+
+// benchSpec is a regular tree join over two n-node balanced trees with a
+// trivial work body, isolating scheduling overhead.
+func benchSpec(n int) Spec {
+	var sink int64
+	return Spec{
+		Outer: tree.NewBalanced(n),
+		Inner: tree.NewBalanced(n),
+		Work:  func(o, i tree.NodeID) { sink += int64(o) ^ int64(i) },
+	}
+}
+
+// irregularBenchSpec adds a hereditary outer-dependent truncation with
+// roughly the given surviving fraction.
+func irregularBenchSpec(n int, survive float64) Spec {
+	s := benchSpec(n)
+	outer, inner := s.Outer, s.Inner
+	s.Hereditary = true
+	s.TruncInner2 = func(o, i tree.NodeID) bool {
+		// Deeper outer nodes are truncated for more of the inner tree;
+		// monotone down both trees.
+		depthO := outer.Order(o) - outer.Order(tree.NodeID(0))
+		return float64(depthO)*float64(inner.Order(i)) > survive*float64(n)*float64(n)
+	}
+	return s
+}
+
+// BenchmarkSchedules compares raw engine throughput of the four schedules on
+// a regular space.
+func BenchmarkSchedules(b *testing.B) {
+	s := benchSpec(1 << 10)
+	e := MustNew(s)
+	for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(64)} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				e.Run(v)
+			}
+			b.ReportMetric(float64(e.Stats.Work*int64(b.N))/b.Elapsed().Seconds()/1e6, "Miters/s")
+		})
+	}
+}
+
+// BenchmarkFlagModes is the §4.3 ablation: the Fig 6(b) set protocol vs the
+// counter representation, on an irregular space under twisting.
+func BenchmarkFlagModes(b *testing.B) {
+	s := irregularBenchSpec(1<<10, 0.3)
+	e := MustNew(s)
+	for _, fm := range []FlagMode{FlagSets, FlagCounter} {
+		fm := fm
+		b.Run(fm.String(), func(b *testing.B) {
+			e.Flags = fm
+			for k := 0; k < b.N; k++ {
+				e.Run(Twisted())
+			}
+		})
+	}
+}
+
+// BenchmarkSubtreeTruncation is the §4.2 ablation: twisting with and without
+// the subtree-truncation cut on a sparse hereditary space.
+func BenchmarkSubtreeTruncation(b *testing.B) {
+	s := irregularBenchSpec(1<<10, 0.1)
+	e := MustNew(s)
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			e.SubtreeTruncation = on
+			for k := 0; k < b.N; k++ {
+				e.Run(Twisted())
+			}
+			b.ReportMetric(float64(e.Stats.Iterations), "iters/run")
+		})
+	}
+}
+
+// BenchmarkCutoffSweep is the §7.1 ablation: instruction cost of twisting as
+// the cutoff varies.
+func BenchmarkCutoffSweep(b *testing.B) {
+	s := benchSpec(1 << 10)
+	e := MustNew(s)
+	for _, c := range []int{0, 16, 64, 256, 1024} {
+		c := c
+		b.Run(Variant{Kind: KindTwistedCutoff, Cutoff: int32(c)}.String()+"-"+itoa(c), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				e.Run(TwistedCutoff(c))
+			}
+			b.ReportMetric(float64(e.Stats.Twists), "twists/run")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	k := len(buf)
+	for n > 0 {
+		k--
+		buf[k] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[k:])
+}

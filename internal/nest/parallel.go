@@ -1,0 +1,107 @@
+package nest
+
+import (
+	"fmt"
+	"sync"
+
+	"twist/internal/tree"
+)
+
+// RunParallel executes the computation with the task-parallel decomposition
+// of paper §7.3: the outer recursion is unfolded breadth-wise down to
+// spawnDepth, one task is spawned per outer subtree at that depth, and each
+// task runs the given schedule (typically Twisted) on its sub-space. Columns
+// of outer nodes shallower than spawnDepth are executed sequentially before
+// their subtrees' tasks start, preserving the template's per-column
+// semantics. At most workers tasks run concurrently (0 means unbounded).
+//
+// Soundness requires the §3.3 criterion — outer recursions independent of
+// each other — and, additionally, that Spec.Work and the truncation
+// predicates are safe to call from concurrent goroutines for *distinct*
+// outer subtrees (iterations of a single column never run concurrently).
+// As the paper notes, a task must not be subdivided further once twisting is
+// applied inside it; this decomposition spawns strictly above the twisting.
+//
+// It returns the per-task statistics (spawn-order; the first entry covers
+// the sequential shallow columns).
+func RunParallel(s Spec, v Variant, spawnDepth, workers int, configure func(*Exec)) ([]Stats, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if spawnDepth < 0 {
+		return nil, fmt.Errorf("nest: negative spawn depth %d", spawnDepth)
+	}
+
+	// Phase 1 (sequential): run the columns of all outer nodes above the
+	// spawn depth and collect the task roots at the spawn depth.
+	prefix := newConfigured(s, configure)
+	iRoot := s.Inner.Root()
+	var taskRoots []tree.NodeID
+	var walk func(o tree.NodeID, depth int)
+	walk = func(o tree.NodeID, depth int) {
+		if prefix.truncO(o) {
+			return
+		}
+		if depth == spawnDepth {
+			taskRoots = append(taskRoots, o)
+			return
+		}
+		prefix.inner(o, iRoot)
+		walk(s.Outer.Left(o), depth+1)
+		walk(s.Outer.Right(o), depth+1)
+	}
+	prefix.Stats = Stats{}
+	prefix.prepareFlags()
+	walk(s.Outer.Root(), 0)
+
+	// Phase 2 (parallel): one task per subtree, each with its own Exec (and
+	// hence its own truncation-flag state).
+	stats := make([]Stats, len(taskRoots)+1)
+	stats[0] = prefix.Stats
+	var sem chan struct{}
+	if workers > 0 {
+		sem = make(chan struct{}, workers)
+	}
+	var wg sync.WaitGroup
+	for k, root := range taskRoots {
+		wg.Add(1)
+		go func(k int, root tree.NodeID) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			e := newConfigured(s, configure)
+			e.RunFrom(v, root, iRoot)
+			stats[k+1] = e.Stats
+		}(k, root)
+	}
+	wg.Wait()
+	return stats, nil
+}
+
+// newConfigured builds an Exec and applies the caller's configuration hook.
+func newConfigured(s Spec, configure func(*Exec)) *Exec {
+	e := MustNew(s)
+	if configure != nil {
+		configure(e)
+	}
+	return e
+}
+
+// prepareFlags sizes and clears the truncation-flag state without running
+// (used by the sequential prefix of RunParallel, which drives the engine's
+// inner recursion directly).
+func (e *Exec) prepareFlags() {
+	if !e.irregular {
+		return
+	}
+	n := e.spec.Outer.Len()
+	switch e.Flags {
+	case FlagSets:
+		e.flag = make([]bool, n)
+		e.unTrunc = e.unTrunc[:0]
+	case FlagCounter:
+		e.ctr = make([]int32, n)
+	}
+}

@@ -1,0 +1,163 @@
+package nest
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"twist/internal/tree"
+)
+
+// parallelPairs runs RunParallel collecting iterations thread-safely.
+func parallelPairs(t *testing.T, s Spec, v Variant, depth, workers int) []pair {
+	t.Helper()
+	var mu sync.Mutex
+	var got []pair
+	s.Work = func(o, i tree.NodeID) {
+		mu.Lock()
+		got = append(got, pair{o, i})
+		mu.Unlock()
+	}
+	if _, err := RunParallel(s, v, depth, workers, nil); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParallelExecutesSameIterationSet(t *testing.T) {
+	outer, inner := tree.NewRandomBST(100, 11), tree.NewRandomBST(90, 12)
+	for _, irregular := range []bool{false, true} {
+		s := regularSpec(outer, inner)
+		if irregular {
+			s = irregularSpec(outer, inner, 33, true, 0.7)
+		}
+		want := pairSet(runPairs(t, s, Original(), nil))
+		for _, depth := range []int{0, 1, 3, 6} {
+			got := pairSet(parallelPairs(t, s, Twisted(), depth, 4))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("irregular=%v depth=%d: parallel iteration set differs", irregular, depth)
+			}
+		}
+	}
+}
+
+// Within each column, order is still the sequential one: a column is owned
+// entirely by one task (or the sequential prefix).
+func TestParallelPreservesColumnOrder(t *testing.T) {
+	outer, inner := tree.NewBalanced(63), tree.NewBalanced(63)
+	s := irregularSpec(outer, inner, 9, true, 0.6)
+	ref := runPairs(t, s, Original(), nil)
+	refCols := map[tree.NodeID][]tree.NodeID{}
+	for _, p := range ref {
+		refCols[p.o] = append(refCols[p.o], p.i)
+	}
+	var mu sync.Mutex
+	gotCols := map[tree.NodeID][]tree.NodeID{}
+	s.Work = func(o, i tree.NodeID) {
+		mu.Lock()
+		gotCols[o] = append(gotCols[o], i)
+		mu.Unlock()
+	}
+	if _, err := RunParallel(s, Twisted(), 3, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for o, want := range refCols {
+		if !reflect.DeepEqual(gotCols[o], want) {
+			t.Fatalf("column %d order differs under parallel execution", o)
+		}
+	}
+}
+
+func TestParallelDepthZeroMatchesSequentialTwisted(t *testing.T) {
+	outer, inner := tree.NewBalanced(31), tree.NewBalanced(31)
+	s := regularSpec(outer, inner)
+	want := runPairs(t, s, Twisted(), nil)
+	got := parallelPairs(t, s, Twisted(), 0, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("depth-0 parallel run differs from sequential twisting")
+	}
+}
+
+func TestParallelStatsCoverAllWork(t *testing.T) {
+	outer, inner := tree.NewBalanced(127), tree.NewBalanced(127)
+	s := regularSpec(outer, inner)
+	s.Work = func(o, i tree.NodeID) {}
+	stats, err := RunParallel(s, Twisted(), 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 2 {
+		t.Fatalf("expected multiple tasks, got %d", len(stats))
+	}
+	var work int64
+	for _, st := range stats {
+		work += st.Work
+	}
+	if work != int64(outer.Len()*inner.Len()) {
+		t.Fatalf("parallel tasks performed %d work, want %d", work, outer.Len()*inner.Len())
+	}
+}
+
+func TestParallelConfigureHook(t *testing.T) {
+	outer, inner := tree.NewBalanced(63), tree.NewBalanced(63)
+	s := irregularSpec(outer, inner, 5, false, 0.8)
+	var mu sync.Mutex
+	var a, b []pair
+	s.Work = func(o, i tree.NodeID) {
+		mu.Lock()
+		a = append(a, pair{o, i})
+		mu.Unlock()
+	}
+	if _, err := RunParallel(s, Twisted(), 2, 2, func(e *Exec) { e.Flags = FlagSets }); err != nil {
+		t.Fatal(err)
+	}
+	s.Work = func(o, i tree.NodeID) {
+		mu.Lock()
+		b = append(b, pair{o, i})
+		mu.Unlock()
+	}
+	if _, err := RunParallel(s, Twisted(), 2, 2, func(e *Exec) { e.Flags = FlagCounter }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pairSet(a), pairSet(b)) {
+		t.Fatal("flag modes disagree under parallel execution")
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	tr := tree.NewBalanced(3)
+	if _, err := RunParallel(Spec{Outer: tr, Inner: tr}, Twisted(), 1, 0, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	s := regularSpec(tr, tr)
+	s.Work = func(o, i tree.NodeID) {}
+	if _, err := RunParallel(s, Twisted(), -1, 0, nil); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+func TestParallelDeepSpawnDepth(t *testing.T) {
+	// A spawn depth beyond the tree height leaves no tasks: everything runs
+	// in the sequential prefix.
+	outer, inner := tree.NewBalanced(7), tree.NewBalanced(7)
+	s := regularSpec(outer, inner)
+	got := parallelPairs(t, s, Twisted(), 10, 0)
+	want := pairSet(runPairs(t, s, Original(), nil))
+	if !reflect.DeepEqual(pairSet(got), want) {
+		t.Fatal("deep spawn depth lost iterations")
+	}
+}
+
+func BenchmarkParallelTwisted(b *testing.B) {
+	s := benchSpec(1 << 11)
+	for _, depth := range []int{0, 4} {
+		depth := depth
+		b.Run(itoa(depth)+"-tasks", func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				if _, err := RunParallel(s, Twisted(), depth, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package nest
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"twist/internal/tree"
+)
+
+// reference is a literal transcription of the paper's pseudocode — Fig 2
+// (original), Fig 3 + Fig 6(b) (interchange with truncation flags), and
+// Fig 4(a) (twisting) — with none of the engine's refinements: no
+// empty-region guards, no counter representation, no subtree truncation.
+// The engine must produce exactly the same work sequences; the refinements
+// may only skip no-work traversal.
+type reference struct {
+	s    Spec
+	out  []pair
+	flag []bool
+}
+
+func newReference(s Spec) *reference {
+	return &reference{s: s, flag: make([]bool, s.Outer.Len())}
+}
+
+func (r *reference) truncO(o tree.NodeID) bool {
+	return o == tree.Nil || (r.s.TruncOuter != nil && r.s.TruncOuter(o))
+}
+
+func (r *reference) truncI(i tree.NodeID) bool {
+	return i == tree.Nil || (r.s.TruncInner1 != nil && r.s.TruncInner1(i))
+}
+
+func (r *reference) trunc2(o, i tree.NodeID) bool {
+	return r.s.TruncInner2 != nil && r.s.TruncInner2(o, i)
+}
+
+// --- Fig 2: the original template -----------------------------------------
+
+func (r *reference) outer(o, i tree.NodeID) {
+	if r.truncO(o) {
+		return
+	}
+	r.inner(o, i)
+	r.outer(r.s.Outer.Left(o), i)
+	r.outer(r.s.Outer.Right(o), i)
+}
+
+func (r *reference) inner(o, i tree.NodeID) {
+	if r.truncI(i) || r.flag[o] || r.trunc2(o, i) {
+		return
+	}
+	r.out = append(r.out, pair{o, i})
+	r.inner(o, r.s.Inner.Left(i))
+	r.inner(o, r.s.Inner.Right(i))
+}
+
+// --- Fig 3 + Fig 6(b): interchange with truncation flags -------------------
+
+func (r *reference) outerSwapped(o, i tree.NodeID) {
+	if r.truncI(i) {
+		return
+	}
+	var unTrunc []tree.NodeID
+	r.innerSwapped(o, i, &unTrunc)
+	r.outerSwapped(o, r.s.Inner.Left(i))
+	r.outerSwapped(o, r.s.Inner.Right(i))
+	for _, n := range unTrunc {
+		r.flag[n] = false
+	}
+}
+
+func (r *reference) innerSwapped(o, i tree.NodeID, unTrunc *[]tree.NodeID) {
+	if r.truncO(o) {
+		return
+	}
+	if !r.flag[o] && r.trunc2(o, i) {
+		r.flag[o] = true
+		*unTrunc = append(*unTrunc, o)
+	}
+	if !r.flag[o] {
+		r.out = append(r.out, pair{o, i})
+	}
+	r.innerSwapped(r.s.Outer.Left(o), i, unTrunc)
+	r.innerSwapped(r.s.Outer.Right(o), i, unTrunc)
+}
+
+// --- Fig 4(a): recursion twisting -------------------------------------------
+
+func (r *reference) twistedOuter(o, i tree.NodeID) {
+	if r.truncO(o) {
+		return
+	}
+	r.inner(o, i) // flag-aware per §4.1's closing remark
+	for _, c := range [2]tree.NodeID{r.s.Outer.Left(o), r.s.Outer.Right(o)} {
+		if r.s.Outer.Size(c) <= r.s.Inner.Size(i) {
+			r.twistedOuterSwapped(c, i)
+		} else {
+			r.twistedOuter(c, i)
+		}
+	}
+}
+
+func (r *reference) twistedOuterSwapped(o, i tree.NodeID) {
+	if r.truncI(i) {
+		return
+	}
+	var unTrunc []tree.NodeID
+	r.innerSwapped(o, i, &unTrunc)
+	for _, c := range [2]tree.NodeID{r.s.Inner.Left(i), r.s.Inner.Right(i)} {
+		if r.s.Inner.Size(c) <= r.s.Outer.Size(o) {
+			r.twistedOuter(o, c)
+		} else {
+			r.twistedOuterSwapped(o, c)
+		}
+	}
+	for _, n := range unTrunc {
+		r.flag[n] = false
+	}
+}
+
+// run executes the literal pseudocode for a variant.
+func (r *reference) run(v Variant) []pair {
+	r.out = nil
+	for k := range r.flag {
+		r.flag[k] = false
+	}
+	o, i := r.s.Outer.Root(), r.s.Inner.Root()
+	if o == tree.Nil || i == tree.Nil {
+		return nil
+	}
+	switch v.Kind {
+	case KindOriginal:
+		r.outer(o, i)
+	case KindInterchanged:
+		r.outerSwapped(o, i)
+	case KindTwisted:
+		r.twistedOuter(o, i)
+	}
+	return r.out
+}
+
+// engineRun executes the engine with the given flag mode and subtree option.
+func engineRun(s Spec, v Variant, fm FlagMode, subtree bool) []pair {
+	var out []pair
+	s.Work = func(o, i tree.NodeID) { out = append(out, pair{o, i}) }
+	e := MustNew(s)
+	e.Flags = fm
+	e.SubtreeTruncation = subtree
+	e.Run(v)
+	return out
+}
+
+func equalOrBothEmpty(a, b []pair) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestEngineMatchesLiteralPseudocode(t *testing.T) {
+	shapes := []struct {
+		name         string
+		outer, inner *tree.Topology
+	}{
+		{"paper-example", tree.NewPerfect(2), tree.NewPerfect(2)},
+		{"balanced", tree.NewBalanced(41), tree.NewBalanced(29)},
+		{"bst/bst", tree.NewRandomBST(37, 5), tree.NewRandomBST(23, 6)},
+		{"chain/bst", tree.NewChain(11), tree.NewRandomBST(19, 7)},
+	}
+	for _, sh := range shapes {
+		for _, irregular := range []bool{false, true} {
+			s := Spec{Outer: sh.outer, Inner: sh.inner}
+			if irregular {
+				s = irregularSpec(sh.outer, sh.inner, 77, false, 0.6)
+			}
+			ref := newReference(s)
+			for _, v := range []Variant{Original(), Interchanged(), Twisted()} {
+				want := ref.run(v)
+				for _, fm := range []FlagMode{FlagSets, FlagCounter} {
+					got := engineRun(s, v, fm, false)
+					if !equalOrBothEmpty(got, want) {
+						t.Fatalf("%s irregular=%v %v/%v: engine diverges from literal pseudocode\n got %v\nwant %v",
+							sh.name, irregular, v, fm, got, want)
+					}
+				}
+			}
+			// Subtree truncation requires full heredity; check the work
+			// sequence still matches on a hereditary space.
+			if irregular {
+				hs := irregularSpec(sh.outer, sh.inner, 78, true, 0.6)
+				href := newReference(hs)
+				for _, v := range []Variant{Interchanged(), Twisted()} {
+					want := href.run(v)
+					got := engineRun(hs, v, FlagCounter, true)
+					if !equalOrBothEmpty(got, want) {
+						t.Fatalf("%s hereditary %v: subtree truncation changed the work sequence",
+							sh.name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: on random tree shapes with random irregular truncation, the
+// engine's twisted schedule equals the literal Fig 4(a)+6(b) pseudocode.
+func TestQuickEngineVsReference(t *testing.T) {
+	f := func(seedO, seedI, seedTrunc int64, rawNO, rawNI uint8) bool {
+		no, ni := int(rawNO%60)+1, int(rawNI%60)+1
+		outer := tree.NewRandomBST(no, seedO)
+		inner := tree.NewRandomBST(ni, seedI)
+		s := irregularSpec(outer, inner, seedTrunc, false, 0.8)
+		ref := newReference(s)
+		for _, v := range []Variant{Original(), Interchanged(), Twisted()} {
+			if !equalOrBothEmpty(engineRun(s, v, FlagSets, false), ref.run(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with both parameters drawn at random, cutoff schedules are
+// always sound (permutation + column order) even on irregular spaces.
+func TestQuickCutoffSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		outer := tree.NewRandomBST(rng.Intn(50)+1, rng.Int63())
+		inner := tree.NewRandomBST(rng.Intn(50)+1, rng.Int63())
+		s := irregularSpec(outer, inner, rng.Int63(), rng.Intn(2) == 0, rng.Float64())
+		ref := engineRun(s, Original(), FlagCounter, true)
+		cutoff := rng.Intn(inner.Len() + 2)
+		got := engineRun(s, TwistedCutoff(cutoff), FlagCounter, true)
+		if !equalOrBothEmpty(sortCanon(ref), sortCanon(got)) {
+			t.Fatalf("trial %d cutoff %d: iteration sets differ", trial, cutoff)
+		}
+	}
+}
+
+// sortCanon returns a canonical ordering for set comparison.
+func sortCanon(ps []pair) []pair {
+	out := append([]pair(nil), ps...)
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && less(out[b], out[b-1]); b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+func less(a, b pair) bool {
+	return a.o < b.o || (a.o == b.o && a.i < b.i)
+}

@@ -1,0 +1,149 @@
+// Package sched records and renders the schedules the transformations in
+// internal/nest produce. Its grid rendering reproduces the iteration-space
+// pictures of the paper's Fig 1(c) (original, column-by-column) and Fig 4(b)
+// (twisted, with its emergent nested tiles) as text.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"twist/internal/nest"
+	"twist/internal/tree"
+)
+
+// Pair is one iteration of a nested recursive iteration space: an outer-tree
+// node and an inner-tree node.
+type Pair struct {
+	O, I tree.NodeID
+}
+
+// Record executes variant v of spec s and returns the sequence of iterations
+// in execution order. The spec's own Work (if any) still runs.
+func Record(s nest.Spec, v nest.Variant) ([]Pair, error) {
+	var pairs []Pair
+	work := s.Work
+	if work == nil {
+		work = func(o, i tree.NodeID) {}
+	}
+	s.Work = func(o, i tree.NodeID) {
+		pairs = append(pairs, Pair{O: o, I: i})
+		work(o, i)
+	}
+	e, err := nest.New(s)
+	if err != nil {
+		return nil, err
+	}
+	e.Run(v)
+	return pairs, nil
+}
+
+// OuterLabel names outer-tree nodes the way the paper's figures do:
+// A, B, C, … in preorder (wrapping to A1, B1, … beyond 26 nodes).
+func OuterLabel(t *tree.Topology, n tree.NodeID) string {
+	k := t.Order(n)
+	letter := rune('A' + k%26)
+	if cycle := k / 26; cycle > 0 {
+		return fmt.Sprintf("%c%d", letter, cycle)
+	}
+	return string(letter)
+}
+
+// InnerLabel names inner-tree nodes 1, 2, 3, … in preorder, as in the paper.
+func InnerLabel(t *tree.Topology, n tree.NodeID) string {
+	return fmt.Sprintf("%d", t.Order(n)+1)
+}
+
+// Grid renders the iteration order as a matrix: one column per outer-tree
+// node (preorder), one row per inner-tree node (preorder), each cell holding
+// the 1-based position of that iteration in the schedule (". ." for skipped
+// iterations of an irregular space). Reading the numbers in sequence traces
+// the arrows of Fig 1(c)/4(b); tiles appear as blocks of consecutive values.
+func Grid(outer, inner *tree.Topology, pairs []Pair) string {
+	no, ni := outer.Len(), inner.Len()
+	seq := make(map[Pair]int, len(pairs))
+	for k, p := range pairs {
+		seq[p] = k + 1
+	}
+	width := len(fmt.Sprint(len(pairs)))
+	if width < 2 {
+		width = 2
+	}
+	var b strings.Builder
+	// Header row: outer labels.
+	fmt.Fprintf(&b, "%*s", 4, "")
+	for ok := int32(0); ok < int32(no); ok++ {
+		fmt.Fprintf(&b, " %*s", width, OuterLabel(outer, outer.ByPreorder(ok)))
+	}
+	b.WriteByte('\n')
+	for ik := int32(0); ik < int32(ni); ik++ {
+		i := inner.ByPreorder(ik)
+		fmt.Fprintf(&b, "%*s", 4, InnerLabel(inner, i))
+		for ok := int32(0); ok < int32(no); ok++ {
+			o := outer.ByPreorder(ok)
+			if s, ok2 := seq[Pair{O: o, I: i}]; ok2 {
+				fmt.Fprintf(&b, " %*d", width, s)
+			} else {
+				fmt.Fprintf(&b, " %*s", width, ".")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Order renders the schedule as the paper writes it: a sequence of labeled
+// iterations "(A,1) (A,2) …", wrapped at the given number of entries per
+// line (0 for a single line).
+func Order(outer, inner *tree.Topology, pairs []Pair, perLine int) string {
+	var b strings.Builder
+	for k, p := range pairs {
+		if k > 0 {
+			if perLine > 0 && k%perLine == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&b, "(%s,%s)", OuterLabel(outer, p.O), InnerLabel(inner, p.I))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Check verifies that a recorded schedule is a permutation of the reference
+// schedule (same iterations, each exactly once) and preserves the relative
+// order of iterations within every column (fixed outer node) — the §3.3
+// soundness conditions for programs with inner-recursion-carried
+// dependences. It returns nil if both hold.
+func Check(reference, got []Pair) error {
+	refCount := make(map[Pair]int, len(reference))
+	for _, p := range reference {
+		refCount[p]++
+	}
+	for _, p := range got {
+		refCount[p]--
+	}
+	for p, c := range refCount {
+		if c != 0 {
+			return fmt.Errorf("sched: iteration (%d,%d) count differs by %d", p.O, p.I, -c)
+		}
+	}
+	refCols := map[tree.NodeID][]tree.NodeID{}
+	for _, p := range reference {
+		refCols[p.O] = append(refCols[p.O], p.I)
+	}
+	gotCols := map[tree.NodeID][]tree.NodeID{}
+	for _, p := range got {
+		gotCols[p.O] = append(gotCols[p.O], p.I)
+	}
+	for o, ref := range refCols {
+		g := gotCols[o]
+		for k := range ref {
+			if g[k] != ref[k] {
+				return fmt.Errorf("sched: column %d reordered at position %d: %d vs %d", o, k, g[k], ref[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package spatial
+
+import (
+	"testing"
+
+	"twist/internal/geom"
+	"twist/internal/tree"
+)
+
+// midSplit is a trivial partitioner: split the range in half.
+func midSplit(pts []geom.Point, perm []int32, lo, hi int32) int32 {
+	return lo + (hi-lo)/2
+}
+
+func somePoints(n int) []geom.Point {
+	return geom.Generate(geom.Uniform, n, int64(n)+1)
+}
+
+func TestConstructBasic(t *testing.T) {
+	pts := somePoints(100)
+	ix, err := Construct(pts, 4, midSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	root := ix.Topo.Root()
+	if ix.Count(root) != 100 {
+		t.Fatalf("root count %d", ix.Count(root))
+	}
+	if got := len(ix.NodePoints(root)); got != 100 {
+		t.Fatalf("root NodePoints %d", got)
+	}
+}
+
+func TestConstructLeafOnly(t *testing.T) {
+	ix, err := Construct(somePoints(3), 8, midSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Topo.Len() != 1 {
+		t.Fatalf("%d nodes for under-leaf-size input", ix.Topo.Len())
+	}
+}
+
+func TestConstructEmpty(t *testing.T) {
+	ix, err := Construct(nil, 4, midSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Topo.Len() != 0 || ix.Topo.Root() != tree.Nil {
+		t.Fatal("empty construct built nodes")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructRejectsBadLeafSize(t *testing.T) {
+	if _, err := Construct(somePoints(4), 0, midSplit); err == nil {
+		t.Fatal("leafSize 0 accepted")
+	}
+}
+
+func TestDegenerateSplitterMakesLeaf(t *testing.T) {
+	// A splitter that refuses to split must yield a single (oversized) leaf
+	// rather than loop.
+	refuse := func(pts []geom.Point, perm []int32, lo, hi int32) int32 { return lo }
+	ix, err := Construct(somePoints(50), 4, refuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Topo.Len() != 1 {
+		t.Fatalf("%d nodes", ix.Topo.Len())
+	}
+}
+
+func TestOutOfRangeSplitterMakesLeaf(t *testing.T) {
+	wild := func(pts []geom.Point, perm []int32, lo, hi int32) int32 { return hi + 5 }
+	ix, err := Construct(somePoints(20), 4, wild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Topo.Len() != 1 {
+		t.Fatalf("%d nodes", ix.Topo.Len())
+	}
+}
+
+func TestMinMaxDistDelegation(t *testing.T) {
+	a, err := Construct([]geom.Point{{0, 0, 0}, {1, 1, 1}}, 8, midSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Construct([]geom.Point{{4, 0, 0}, {5, 1, 1}}, 8, midSplit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Topo.Root(), b.Topo.Root()
+	if got := a.MinDist2(ra, b, rb); got != 9 {
+		t.Fatalf("MinDist2 = %v", got)
+	}
+	if got := a.MaxDist2(ra, b, rb); got < 9 {
+		t.Fatalf("MaxDist2 = %v below MinDist2", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Index {
+		ix, err := Construct(somePoints(64), 4, midSplit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+
+	ix := fresh()
+	ix.Start[ix.Topo.Root()] = 1
+	if ix.Validate() == nil {
+		t.Fatal("root range corruption not caught")
+	}
+
+	ix = fresh()
+	ix.Boxes[0] = geom.EmptyBox()
+	if ix.Validate() == nil {
+		t.Fatal("box corruption not caught")
+	}
+
+	ix = fresh()
+	ix.Perm[0] = ix.Perm[1]
+	if ix.Validate() == nil {
+		t.Fatal("perm corruption not caught")
+	}
+
+	ix = fresh()
+	l := ix.Topo.Left(ix.Topo.Root())
+	if l != tree.Nil {
+		ix.End[l]--
+		if ix.Validate() == nil {
+			t.Fatal("child tiling corruption not caught")
+		}
+	}
+
+	ix = fresh()
+	ix.Perm = ix.Perm[:len(ix.Perm)-1]
+	if ix.Validate() == nil {
+		t.Fatal("perm length corruption not caught")
+	}
+}

@@ -1,0 +1,41 @@
+package transform
+
+import "testing"
+
+// FuzzParseFile checks the §5 sanity checker never panics on arbitrary Go
+// source: malformed templates must be rejected with errors, not crashes.
+func FuzzParseFile(f *testing.F) {
+	f.Add([]byte(regularSrc))
+	f.Add([]byte("package p"))
+	f.Add([]byte("//twist:outer\nfunc f() {}"))
+	f.Add([]byte(`package p
+
+//twist:outer
+func Outer(o *Node, i *Node) {
+	if o == nil {
+		return
+	}
+	Inner(o, i)
+	Outer(o.Left, i)
+}
+
+//twist:inner
+func Inner(o *Node, i *Node) {
+	if i == nil || far(o, i) {
+		return
+	}
+	work(o, i)
+	Inner(o, i.Right)
+}
+`))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		tmpl, err := ParseFile("fuzz.go", src)
+		if err != nil || tmpl == nil {
+			return
+		}
+		// Anything the checker accepts must generate valid Go.
+		if _, err := Generate(tmpl); err != nil {
+			t.Fatalf("accepted template failed to generate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,423 @@
+// Package transform is the source-to-source transformation tool of paper §5,
+// retargeted from Clang/C++ to Go's go/ast. Given a file containing two
+// annotated recursive functions that conform to the nested recursion
+// template (Fig 2), it
+//
+//  1. performs the syntactic sanity check that the functions match the
+//     template,
+//  2. analyzes the inner recursion's truncation condition to decide whether
+//     irregular (outer-dependent) truncation is present, and
+//  3. synthesizes interchange and parameterless recursion-twisting code,
+//     including the truncation-flag machinery of Fig 6(b) when needed.
+//
+// Annotations are comment directives on the two functions:
+//
+//	//twist:outer size=subtreeSize trunc=truncFlag settrunc=setTruncFlag
+//	func RecurseOuter(o, i *Node) { ... }
+//
+//	//twist:inner
+//	func RecurseInner(o, i *Node) { ... }
+//
+// size names a function reporting the size of a subtree (§5: "the tool
+// assumes that a method can be called to determine the size of the current
+// sub-recursion"); trunc/settrunc name the truncation-flag accessors used by
+// the synthesized irregular-truncation code. All three default to the names
+// above and need only exist when used (size always; the flag helpers only
+// for irregular truncation).
+//
+// Like the paper's prototype, the tool does not prove soundness (§3.3); the
+// programmer must only annotate nested recursions for which recursion
+// interchange is sound.
+package transform
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// Template is the parsed, validated nested recursion template of one
+// annotated pair of functions.
+type Template struct {
+	Fset *token.FileSet
+	File *ast.File
+
+	Outer, Inner *ast.FuncDecl
+
+	// Parameter names of the outer function, adopted for all generated code.
+	OName, IName string
+	// Parameter types (as written) of the two indices.
+	OType, IType ast.Expr
+
+	// TruncOuter is the outer function's truncation condition.
+	TruncOuter ast.Expr
+	// TruncInner1 holds ||-conjuncts of the inner truncation that depend
+	// only on the inner index; TruncInner2 holds those that (also) depend on
+	// the outer index. Both are rewritten to the outer function's parameter
+	// names. TruncInner2 == nil means the space is regular.
+	TruncInner1, TruncInner2 ast.Expr
+
+	// Work is the inner function's body between truncation and recursion,
+	// rewritten to the outer parameter names.
+	Work []ast.Stmt
+
+	// OuterChildren and InnerChildren are the "increment" expressions the
+	// recursive calls descend into (e.g. o.Left, o.Right), rewritten to the
+	// outer parameter names.
+	OuterChildren, InnerChildren []ast.Expr
+
+	// Helper names from the directive.
+	SizeFn, TruncFn, SetTruncFn string
+}
+
+// Irregular reports whether the template has outer-dependent truncation
+// (a non-trivial truncateInner2?).
+func (t *Template) Irregular() bool { return t.TruncInner2 != nil }
+
+// directive holds the parsed //twist: comment of one function.
+type directive struct {
+	role string // "outer" or "inner"
+	opts map[string]string
+}
+
+// parseDirective extracts a //twist: directive from a doc comment, if any.
+func parseDirective(doc *ast.CommentGroup) *directive {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, "twist:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, "twist:"))
+		if len(fields) == 0 {
+			continue
+		}
+		d := &directive{role: fields[0], opts: map[string]string{}}
+		for _, f := range fields[1:] {
+			if k, v, ok := strings.Cut(f, "="); ok {
+				d.opts[k] = v
+			}
+		}
+		return d
+	}
+	return nil
+}
+
+// ParseFile parses src (a Go source file; filename is used for positions)
+// and extracts its annotated nested recursion template.
+func ParseFile(filename string, src []byte) (*Template, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{Fset: fset, File: file}
+	var outerDir *directive
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		d := parseDirective(fn.Doc)
+		if d == nil {
+			continue
+		}
+		switch d.role {
+		case "outer":
+			if t.Outer != nil {
+				return nil, fmt.Errorf("transform: multiple //twist:outer functions")
+			}
+			t.Outer, outerDir = fn, d
+		case "inner":
+			if t.Inner != nil {
+				return nil, fmt.Errorf("transform: multiple //twist:inner functions")
+			}
+			t.Inner = fn
+		default:
+			return nil, fmt.Errorf("transform: unknown directive //twist:%s on %s", d.role, fn.Name.Name)
+		}
+	}
+	if t.Outer == nil || t.Inner == nil {
+		return nil, fmt.Errorf("transform: need exactly one //twist:outer and one //twist:inner function")
+	}
+	t.SizeFn = opt(outerDir, "size", "subtreeSize")
+	t.TruncFn = opt(outerDir, "trunc", "truncFlag")
+	t.SetTruncFn = opt(outerDir, "settrunc", "setTruncFlag")
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func opt(d *directive, key, def string) string {
+	if d != nil {
+		if v, ok := d.opts[key]; ok {
+			return v
+		}
+	}
+	return def
+}
+
+// params extracts the two parameter names and types of a template function.
+func params(fn *ast.FuncDecl) (names [2]string, types [2]ast.Expr, err error) {
+	var flat []*ast.Field
+	n := 0
+	for _, f := range fn.Type.Params.List {
+		flat = append(flat, f)
+		n += len(f.Names)
+	}
+	if n != 2 {
+		return names, types, fmt.Errorf("transform: %s must take exactly two parameters (outer index, inner index), has %d",
+			fn.Name.Name, n)
+	}
+	k := 0
+	for _, f := range flat {
+		for _, nm := range f.Names {
+			names[k] = nm.Name
+			types[k] = f.Type
+			k++
+		}
+	}
+	return names, types, nil
+}
+
+// check is the §5 syntactic sanity check: both functions must conform to the
+// Fig 2 template. On success it fills in the Template fields.
+func (t *Template) check() error {
+	if t.Outer.Body == nil || t.Inner.Body == nil {
+		return fmt.Errorf("transform: annotated functions must have bodies")
+	}
+	oNames, oTypes, err := params(t.Outer)
+	if err != nil {
+		return err
+	}
+	iNames, iTypes, err := params(t.Inner)
+	if err != nil {
+		return err
+	}
+	t.OName, t.IName = oNames[0], oNames[1]
+	t.OType, t.IType = oTypes[0], oTypes[1]
+	if render(t.Fset, oTypes[0]) != render(t.Fset, iTypes[0]) ||
+		render(t.Fset, oTypes[1]) != render(t.Fset, iTypes[1]) {
+		return fmt.Errorf("transform: %s and %s must have identical parameter types",
+			t.Outer.Name.Name, t.Inner.Name.Name)
+	}
+
+	// --- outer function -------------------------------------------------
+	ob := t.Outer.Body.List
+	if len(ob) < 3 {
+		return fmt.Errorf("transform: %s: template needs truncation, an inner call, and recursive calls", t.Outer.Name.Name)
+	}
+	cond, err := truncationIf(ob[0], t.Outer.Name.Name)
+	if err != nil {
+		return err
+	}
+	if usesIdent(cond, oNames[1]) {
+		return fmt.Errorf("transform: %s: outer truncation may only test the outer index %s",
+			t.Outer.Name.Name, oNames[0])
+	}
+	t.TruncOuter = cond
+
+	call, err := callStmt(ob[1])
+	if err != nil || !isIdentCall(call, t.Inner.Name.Name, oNames[0], oNames[1]) {
+		return fmt.Errorf("transform: %s: second statement must be %s(%s, %s)",
+			t.Outer.Name.Name, t.Inner.Name.Name, oNames[0], oNames[1])
+	}
+	for k, st := range ob[2:] {
+		rec, err := callStmt(st)
+		if err != nil {
+			return fmt.Errorf("transform: %s: statement %d is not a recursive call", t.Outer.Name.Name, k+3)
+		}
+		child, err := recursiveCall(rec, t.Outer.Name.Name, oNames[0], oNames[1], 0)
+		if err != nil {
+			return err
+		}
+		t.OuterChildren = append(t.OuterChildren, child)
+	}
+	if len(t.OuterChildren) == 0 {
+		return fmt.Errorf("transform: %s: no recursive calls", t.Outer.Name.Name)
+	}
+
+	// --- inner function -------------------------------------------------
+	ib := t.Inner.Body.List
+	if len(ib) < 2 {
+		return fmt.Errorf("transform: %s: template needs truncation and recursive calls", t.Inner.Name.Name)
+	}
+	icond, err := truncationIf(ib[0], t.Inner.Name.Name)
+	if err != nil {
+		return err
+	}
+	rename := map[string]string{iNames[0]: oNames[0], iNames[1]: oNames[1]}
+	var i1, i2 []ast.Expr
+	for _, c := range splitOr(icond) {
+		c = renameIdents(c, rename)
+		if usesIdent(c, oNames[0]) {
+			i2 = append(i2, c)
+		} else {
+			i1 = append(i1, c)
+		}
+	}
+	t.TruncInner1 = joinOr(i1)
+	t.TruncInner2 = joinOr(i2)
+	if t.TruncInner1 == nil {
+		return fmt.Errorf("transform: %s: truncation must include a condition on the inner index alone "+
+			"(the recursion cannot terminate otherwise)", t.Inner.Name.Name)
+	}
+
+	// Split the remaining statements into work and recursive calls: the
+	// recursive calls are the trailing self-calls.
+	rest := ib[1:]
+	firstRec := len(rest)
+	for k := len(rest) - 1; k >= 0; k-- {
+		if call, err := callStmt(rest[k]); err == nil {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == t.Inner.Name.Name {
+				firstRec = k
+				continue
+			}
+		}
+		break
+	}
+	for _, st := range rest[:firstRec] {
+		if callsFunc(st, t.Inner.Name.Name) || callsFunc(st, t.Outer.Name.Name) {
+			return fmt.Errorf("transform: %s: work statements may not call the recursive functions", t.Inner.Name.Name)
+		}
+		t.Work = append(t.Work, renameIdentsStmt(st, rename))
+	}
+	for _, st := range rest[firstRec:] {
+		call, _ := callStmt(st)
+		child, err := recursiveCall(call, t.Inner.Name.Name, iNames[0], iNames[1], 1)
+		if err != nil {
+			return err
+		}
+		t.InnerChildren = append(t.InnerChildren, renameIdents(child, rename))
+	}
+	if len(t.InnerChildren) == 0 {
+		return fmt.Errorf("transform: %s: no recursive calls", t.Inner.Name.Name)
+	}
+	return nil
+}
+
+// truncationIf checks that st is `if cond { return }` and returns cond.
+func truncationIf(st ast.Stmt, fname string) (ast.Expr, error) {
+	ifst, ok := st.(*ast.IfStmt)
+	if !ok || ifst.Init != nil || ifst.Else != nil {
+		return nil, fmt.Errorf("transform: %s: first statement must be `if <truncation> { return }`", fname)
+	}
+	if len(ifst.Body.List) != 1 {
+		return nil, fmt.Errorf("transform: %s: truncation body must be a single return", fname)
+	}
+	ret, ok := ifst.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 0 {
+		return nil, fmt.Errorf("transform: %s: truncation body must be a bare return", fname)
+	}
+	return ifst.Cond, nil
+}
+
+// callStmt unwraps an expression statement holding a call.
+func callStmt(st ast.Stmt) (*ast.CallExpr, error) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil, fmt.Errorf("not a call statement")
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, fmt.Errorf("not a call statement")
+	}
+	return call, nil
+}
+
+// isIdentCall reports whether call is name(arg0, arg1) with bare identifier
+// arguments.
+func isIdentCall(call *ast.CallExpr, name, arg0, arg1 string) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != name || len(call.Args) != 2 {
+		return false
+	}
+	a0, ok0 := call.Args[0].(*ast.Ident)
+	a1, ok1 := call.Args[1].(*ast.Ident)
+	return ok0 && ok1 && a0.Name == arg0 && a1.Name == arg1
+}
+
+// recursiveCall validates a template self-call: name(child, i) for the outer
+// recursion (descend = 0) or name(o, child) for the inner (descend = 1),
+// returning the child expression.
+func recursiveCall(call *ast.CallExpr, name, o, i string, descend int) (ast.Expr, error) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != name || len(call.Args) != 2 {
+		return nil, fmt.Errorf("transform: %s: recursive calls must be %s(_, _)", name, name)
+	}
+	fixed := 1 - descend
+	fixedName := [2]string{o, i}[fixed]
+	id, ok := call.Args[fixed].(*ast.Ident)
+	if !ok || id.Name != fixedName {
+		return nil, fmt.Errorf("transform: %s: argument %d of recursive calls must be %s", name, fixed, fixedName)
+	}
+	child := call.Args[descend]
+	movingName := [2]string{o, i}[descend]
+	if !usesIdent(child, movingName) {
+		return nil, fmt.Errorf("transform: %s: descend expression %s does not reference %s",
+			name, renderNoFset(child), movingName)
+	}
+	return child, nil
+}
+
+// splitOr flattens a || b || c into its operands.
+func splitOr(e ast.Expr) []ast.Expr {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return splitOr(p.X)
+	}
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		return append(splitOr(b.X), splitOr(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// joinOr rebuilds operands into a || chain (nil for no operands).
+func joinOr(es []ast.Expr) ast.Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &ast.BinaryExpr{X: out, Op: token.LOR, Y: e}
+	}
+	return out
+}
+
+// usesIdent reports whether e references the identifier name (excluding
+// selector fields: x.name does not count as a use of name).
+func usesIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			// Only the operand side of a selector can reference the ident.
+			if usesIdent(sel.X, name) {
+				found = true
+			}
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsFunc reports whether the statement contains a call to name.
+func callsFunc(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

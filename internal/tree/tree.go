@@ -1,0 +1,386 @@
+// Package tree provides the arena-allocated binary-tree substrate that all
+// nested recursive iteration spaces in this repository are built on.
+//
+// The paper's transformations (recursion interchange and recursion twisting)
+// operate on recursions whose "index spaces" are trees: each recursion walks a
+// tree, and the pair of current nodes (o, i) plays the role of the loop
+// indices of a doubly-nested loop. The engine in internal/nest only needs the
+// tree *topology* — children, subtree sizes, and a preorder numbering — so
+// this package stores exactly that, in flat slices indexed by NodeID.
+//
+// Arena layout (indices instead of pointers) is a deliberate substitution for
+// the paper's C++ pointer-based trees: it gives the memory-hierarchy study in
+// internal/memsim full control over node addresses, and it keeps the Go
+// garbage collector out of the measured loops (see DESIGN.md §1).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a node within a Topology. IDs are dense: a Topology with
+// n nodes uses IDs 0..n-1. The zero-size "absent child" is represented by Nil.
+type NodeID int32
+
+// Nil is the absent-node sentinel (the equivalent of a null child pointer).
+const Nil NodeID = -1
+
+// Topology is the shape of a binary tree: children, subtree sizes, and the
+// preorder numbering used by the counter optimization of paper §4.3. It holds
+// no payload; benchmarks attach payload as parallel slices indexed by NodeID.
+//
+// A Topology is immutable after construction and safe for concurrent readers.
+type Topology struct {
+	left   []NodeID
+	right  []NodeID
+	parent []NodeID
+	size   []int32  // subtree sizes (node itself + descendants)
+	order  []int32  // preorder index of each node (root = 0)
+	next   []int32  // order of the first preorder position after the node's subtree
+	byPre  []NodeID // inverse of order: byPre[order[n]] == n
+	root   NodeID
+}
+
+// Len reports the number of nodes in the tree.
+func (t *Topology) Len() int { return len(t.left) }
+
+// Root returns the root node, or Nil for an empty tree.
+func (t *Topology) Root() NodeID { return t.root }
+
+// Left returns the left child of n, or Nil.
+func (t *Topology) Left(n NodeID) NodeID { return t.left[n] }
+
+// Right returns the right child of n, or Nil.
+func (t *Topology) Right(n NodeID) NodeID { return t.right[n] }
+
+// Parent returns the parent of n, or Nil for the root.
+func (t *Topology) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// Size returns the subtree size rooted at n. Size(Nil) == 0, matching the
+// convention the twisting schedule relies on when comparing child sizes
+// (paper Fig 4a: "o.c1.size <= i.size").
+func (t *Topology) Size(n NodeID) int32 {
+	if n == Nil {
+		return 0
+	}
+	return t.size[n]
+}
+
+// Order returns the preorder index of n (root is 0). This is the node
+// numbering required by the counter optimization of paper §4.3, which demands
+// "only one traversal order for the inner tree, determined a priori".
+func (t *Topology) Order(n NodeID) int32 { return t.order[n] }
+
+// Next returns the preorder index of the first node *after* n's subtree in
+// preorder; equivalently Order(n) + Size(n). The §4.3 counter optimization
+// sets an outer node's counter to this value so the node is naturally
+// "untruncated" once the truncating inner subtree completes.
+func (t *Topology) Next(n NodeID) int32 { return t.next[n] }
+
+// ByPreorder returns the node whose preorder index is k.
+func (t *Topology) ByPreorder(k int32) NodeID { return t.byPre[k] }
+
+// IsLeaf reports whether n has no children.
+func (t *Topology) IsLeaf(n NodeID) bool { return t.left[n] == Nil && t.right[n] == Nil }
+
+// Height returns the height of the tree in edges (-1 for an empty tree).
+func (t *Topology) Height() int {
+	var h func(n NodeID) int
+	h = func(n NodeID) int {
+		if n == Nil {
+			return -1
+		}
+		l, r := h(t.left[n]), h(t.right[n])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+// Preorder appends the nodes of the tree in preorder to dst and returns it.
+func (t *Topology) Preorder(dst []NodeID) []NodeID {
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		if n == Nil {
+			return
+		}
+		dst = append(dst, n)
+		walk(t.left[n])
+		walk(t.right[n])
+	}
+	walk(t.root)
+	return dst
+}
+
+// Leaves appends the leaf nodes in preorder to dst and returns it.
+func (t *Topology) Leaves(dst []NodeID) []NodeID {
+	for _, n := range t.Preorder(nil) {
+		if t.IsLeaf(n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// Ancestors reports whether a is an ancestor of (or equal to) n, using the
+// preorder interval test order(a) <= order(n) < next(a).
+func (t *Topology) Ancestors(a, n NodeID) bool {
+	return t.order[a] <= t.order[n] && t.order[n] < t.next[a]
+}
+
+// Validate checks the structural invariants of the topology: every node is
+// reachable exactly once from the root, parent/child links agree, subtree
+// sizes are consistent, and the preorder numbering is a bijection with
+// next = order + size. It is used by tests and by builders in this package.
+func (t *Topology) Validate() error {
+	n := t.Len()
+	if n == 0 {
+		if t.root != Nil {
+			return errors.New("tree: empty topology with non-nil root")
+		}
+		return nil
+	}
+	if t.root < 0 || int(t.root) >= n {
+		return fmt.Errorf("tree: root %d out of range [0,%d)", t.root, n)
+	}
+	if t.parent[t.root] != Nil {
+		return fmt.Errorf("tree: root %d has parent %d", t.root, t.parent[t.root])
+	}
+	seen := make([]bool, n)
+	var count int
+	var walk func(id NodeID) (int32, error)
+	walk = func(id NodeID) (int32, error) {
+		if id == Nil {
+			return 0, nil
+		}
+		if id < 0 || int(id) >= n {
+			return 0, fmt.Errorf("tree: node id %d out of range", id)
+		}
+		if seen[id] {
+			return 0, fmt.Errorf("tree: node %d reachable twice", id)
+		}
+		seen[id] = true
+		count++
+		for _, c := range [2]NodeID{t.left[id], t.right[id]} {
+			if c != Nil && t.parent[c] != id {
+				return 0, fmt.Errorf("tree: child %d of %d has parent %d", c, id, t.parent[c])
+			}
+		}
+		ls, err := walk(t.left[id])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := walk(t.right[id])
+		if err != nil {
+			return 0, err
+		}
+		sz := ls + rs + 1
+		if t.size[id] != sz {
+			return 0, fmt.Errorf("tree: node %d size %d, computed %d", id, t.size[id], sz)
+		}
+		if t.next[id] != t.order[id]+sz {
+			return 0, fmt.Errorf("tree: node %d next %d != order %d + size %d", id, t.next[id], t.order[id], sz)
+		}
+		return sz, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	if count != n {
+		return fmt.Errorf("tree: %d of %d nodes reachable from root", count, n)
+	}
+	for k := int32(0); int(k) < n; k++ {
+		id := t.byPre[k]
+		if id < 0 || int(id) >= n || t.order[id] != k {
+			return fmt.Errorf("tree: preorder index %d maps to node %d with order %d", k, id, t.order[id])
+		}
+	}
+	return nil
+}
+
+// finish computes sizes, preorder numbering, next pointers, and the inverse
+// preorder map. Builders call it once links are in place.
+func (t *Topology) finish() {
+	n := t.Len()
+	t.size = make([]int32, n)
+	t.order = make([]int32, n)
+	t.next = make([]int32, n)
+	t.byPre = make([]NodeID, n)
+	var pre int32
+	visited := make([]bool, n)
+	var walk func(id NodeID) int32
+	walk = func(id NodeID) int32 {
+		if id == Nil || visited[id] {
+			// Revisits indicate a cyclic or shared-node input; stop the walk
+			// here and let Validate report the malformed topology.
+			return 0
+		}
+		visited[id] = true
+		t.order[id] = pre
+		t.byPre[pre] = id
+		pre++
+		sz := walk(t.left[id]) + walk(t.right[id]) + 1
+		t.size[id] = sz
+		t.next[id] = t.order[id] + sz
+		return sz
+	}
+	walk(t.root)
+}
+
+// Builder constructs a Topology node by node. It exists for tests and for
+// callers (kd-tree, vp-tree, matrix range trees) that derive tree shape from
+// data rather than from a size parameter.
+type Builder struct {
+	left, right, parent []NodeID
+}
+
+// NewBuilder returns a Builder with capacity for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		left:   make([]NodeID, 0, n),
+		right:  make([]NodeID, 0, n),
+		parent: make([]NodeID, 0, n),
+	}
+}
+
+// Add appends a new node with no children and returns its id.
+func (b *Builder) Add() NodeID {
+	id := NodeID(len(b.left))
+	b.left = append(b.left, Nil)
+	b.right = append(b.right, Nil)
+	b.parent = append(b.parent, Nil)
+	return id
+}
+
+// SetLeft links c as the left child of p. c may be Nil.
+func (b *Builder) SetLeft(p, c NodeID) {
+	b.left[p] = c
+	if c != Nil {
+		b.parent[c] = p
+	}
+}
+
+// SetRight links c as the right child of p. c may be Nil.
+func (b *Builder) SetRight(p, c NodeID) {
+	b.right[p] = c
+	if c != Nil {
+		b.parent[c] = p
+	}
+}
+
+// Build finalizes the topology with the given root and validates it.
+func (b *Builder) Build(root NodeID) (*Topology, error) {
+	t := &Topology{left: b.left, right: b.right, parent: b.parent, root: root}
+	if len(b.left) == 0 {
+		t.root = Nil
+	}
+	t.finish()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error; for tests and internal builders.
+func (b *Builder) MustBuild(root NodeID) *Topology {
+	t, err := b.Build(root)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewBalanced builds a balanced binary tree with n nodes. Node IDs are
+// assigned in preorder, so ID order equals traversal order — the allocation
+// discipline a preorder-packed C++ arena would produce, and the layout the
+// memsim address model assumes by default.
+func NewBalanced(n int) *Topology {
+	b := NewBuilder(n)
+	var build func(count int) NodeID
+	build = func(count int) NodeID {
+		if count == 0 {
+			return Nil
+		}
+		id := b.Add()
+		lc := (count - 1) / 2
+		l := build(lc)
+		r := build(count - 1 - lc)
+		b.SetLeft(id, l)
+		b.SetRight(id, r)
+		return id
+	}
+	root := build(n)
+	return b.MustBuild(root)
+}
+
+// NewPerfect builds a perfect binary tree of the given height in edges
+// (height 0 is a single node); it has 2^(height+1)-1 nodes. The paper's
+// running example (Fig 1b) uses two perfect trees of height 2 (7 nodes).
+func NewPerfect(height int) *Topology {
+	if height < 0 {
+		return (&Builder{}).MustBuild(Nil)
+	}
+	n := (1 << (height + 1)) - 1
+	return NewBalanced(n)
+}
+
+// NewChain builds a degenerate tree of n nodes where every node has only a
+// right child. Per paper §2.1, the recursion template on such "list" trees
+// devolves into a doubly-nested loop; tests use chains to cross-check the
+// transformations against plain loop interchange/tiling intuition.
+func NewChain(n int) *Topology {
+	b := NewBuilder(n)
+	var prev NodeID = Nil
+	var root NodeID = Nil
+	for k := 0; k < n; k++ {
+		id := b.Add()
+		if prev == Nil {
+			root = id
+		} else {
+			b.SetRight(prev, id)
+		}
+		prev = id
+	}
+	return b.MustBuild(root)
+}
+
+// NewRandomBST builds the tree shape produced by inserting a random
+// permutation of n keys into an unbalanced binary search tree, using the
+// given seed. Expected height is O(log n) but with realistic irregularity —
+// the "roughly balanced" regime the paper's locality analysis assumes (§3.2).
+func NewRandomBST(n int, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	keys := make([]int, 0, n)
+	var root NodeID = Nil
+	for _, key := range perm {
+		id := b.Add()
+		keys = append(keys, key)
+		if root == Nil {
+			root = id
+			continue
+		}
+		cur := root
+		for {
+			if key < keys[cur] {
+				if b.left[cur] == Nil {
+					b.SetLeft(cur, id)
+					break
+				}
+				cur = b.left[cur]
+			} else {
+				if b.right[cur] == Nil {
+					b.SetRight(cur, id)
+					break
+				}
+				cur = b.right[cur]
+			}
+		}
+	}
+	return b.MustBuild(root)
+}

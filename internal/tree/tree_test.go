@@ -1,0 +1,251 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// PaperOuter builds the outer tree of paper Fig 1(b): A..G with A the root,
+// children B and E; B's children C, D; E's children F, G. IDs are assigned
+// in preorder, so A=0, B=1, C=2, D=3, E=4, F=5, G=6.
+func PaperOuter() *Topology { return NewPerfect(2) }
+
+func TestNewPerfectShape(t *testing.T) {
+	tr := NewPerfect(2)
+	if tr.Len() != 7 {
+		t.Fatalf("perfect height-2 tree has %d nodes, want 7", tr.Len())
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("height = %d, want 2", tr.Height())
+	}
+	root := tr.Root()
+	if tr.Size(root) != 7 {
+		t.Fatalf("root size = %d, want 7", tr.Size(root))
+	}
+	for _, c := range []NodeID{tr.Left(root), tr.Right(root)} {
+		if tr.Size(c) != 3 {
+			t.Fatalf("child size = %d, want 3", tr.Size(c))
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreorderNumberingMatchesIDsForBalanced(t *testing.T) {
+	// NewBalanced assigns IDs in preorder; Order must be the identity.
+	for _, n := range []int{0, 1, 2, 3, 7, 10, 63, 100, 1023} {
+		tr := NewBalanced(n)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		for id := NodeID(0); int(id) < n; id++ {
+			if tr.Order(id) != int32(id) {
+				t.Fatalf("n=%d: Order(%d)=%d, want %d", n, id, tr.Order(id), id)
+			}
+			if tr.ByPreorder(int32(id)) != id {
+				t.Fatalf("n=%d: ByPreorder(%d)=%d", n, id, tr.ByPreorder(int32(id)))
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestNextIsOrderPlusSize(t *testing.T) {
+	tr := NewRandomBST(500, 42)
+	for id := NodeID(0); int(id) < tr.Len(); id++ {
+		if tr.Next(id) != tr.Order(id)+tr.Size(id) {
+			t.Fatalf("node %d: Next=%d Order=%d Size=%d", id, tr.Next(id), tr.Order(id), tr.Size(id))
+		}
+	}
+}
+
+func TestChainDevolvesToList(t *testing.T) {
+	tr := NewChain(10)
+	if tr.Height() != 9 {
+		t.Fatalf("chain height = %d, want 9", tr.Height())
+	}
+	n := tr.Root()
+	for k := 0; k < 10; k++ {
+		if n == Nil {
+			t.Fatalf("chain ended early at %d", k)
+		}
+		if tr.Left(n) != Nil {
+			t.Fatalf("chain node %d has a left child", k)
+		}
+		if got := tr.Size(n); got != int32(10-k) {
+			t.Fatalf("chain node %d size = %d, want %d", k, got, 10-k)
+		}
+		n = tr.Right(n)
+	}
+	if n != Nil {
+		t.Fatal("chain longer than 10")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewBalanced(0)
+	if tr.Len() != 0 || tr.Root() != Nil {
+		t.Fatalf("empty tree: Len=%d Root=%d", tr.Len(), tr.Root())
+	}
+	if tr.Height() != -1 {
+		t.Fatalf("empty height = %d", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Preorder(nil); len(got) != 0 {
+		t.Fatalf("empty preorder has %d nodes", len(got))
+	}
+}
+
+func TestSizeOfNilIsZero(t *testing.T) {
+	tr := NewBalanced(3)
+	if tr.Size(Nil) != 0 {
+		t.Fatalf("Size(Nil) = %d", tr.Size(Nil))
+	}
+}
+
+func TestPreorderVisitsAllNodesOnce(t *testing.T) {
+	tr := NewRandomBST(777, 7)
+	order := tr.Preorder(nil)
+	if len(order) != tr.Len() {
+		t.Fatalf("preorder visits %d of %d nodes", len(order), tr.Len())
+	}
+	seen := make(map[NodeID]bool, len(order))
+	for k, id := range order {
+		if seen[id] {
+			t.Fatalf("node %d visited twice", id)
+		}
+		seen[id] = true
+		if tr.Order(id) != int32(k) {
+			t.Fatalf("node %d at preorder position %d but Order=%d", id, k, tr.Order(id))
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr := NewPerfect(3) // 15 nodes, preorder IDs
+	root := tr.Root()
+	for id := NodeID(0); int(id) < tr.Len(); id++ {
+		if !tr.Ancestors(root, id) {
+			t.Fatalf("root not ancestor of %d", id)
+		}
+		if !tr.Ancestors(id, id) {
+			t.Fatalf("node %d not ancestor of itself", id)
+		}
+	}
+	l, r := tr.Left(root), tr.Right(root)
+	if tr.Ancestors(l, r) || tr.Ancestors(r, l) {
+		t.Fatal("siblings report ancestry")
+	}
+	// Walk-up check: parent chain membership matches Ancestors.
+	for id := NodeID(0); int(id) < tr.Len(); id++ {
+		anc := make(map[NodeID]bool)
+		for a := id; a != Nil; a = tr.Parent(a) {
+			anc[a] = true
+		}
+		for a := NodeID(0); int(a) < tr.Len(); a++ {
+			if tr.Ancestors(a, id) != anc[a] {
+				t.Fatalf("Ancestors(%d,%d)=%v, parent-chain says %v", a, id, tr.Ancestors(a, id), anc[a])
+			}
+		}
+	}
+}
+
+func TestLeavesAreHalfOfPerfectTree(t *testing.T) {
+	tr := NewPerfect(4) // 31 nodes, 16 leaves
+	leaves := tr.Leaves(nil)
+	if len(leaves) != 16 {
+		t.Fatalf("%d leaves, want 16", len(leaves))
+	}
+	for _, l := range leaves {
+		if !tr.IsLeaf(l) {
+			t.Fatalf("node %d reported as leaf but has children", l)
+		}
+	}
+}
+
+func TestRandomBSTValidAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := NewRandomBST(200, seed)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tr.Size(tr.Root()) != 200 {
+			t.Fatalf("seed %d: root size %d", seed, tr.Size(tr.Root()))
+		}
+	}
+}
+
+func TestBuilderRejectsUnreachableNodes(t *testing.T) {
+	b := NewBuilder(2)
+	root := b.Add()
+	b.Add() // orphan: never linked
+	if _, err := b.Build(root); err == nil {
+		t.Fatal("Build accepted a topology with an unreachable node")
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder(2)
+	a := b.Add()
+	c := b.Add()
+	b.SetLeft(a, c)
+	b.SetLeft(c, a) // cycle; also reparents the root
+	if _, err := b.Build(a); err == nil {
+		t.Fatal("Build accepted a cyclic topology")
+	}
+}
+
+// Property: for any n, NewBalanced(n) is valid, has n nodes, height O(log n),
+// and subtree sizes sum correctly at every node.
+func TestQuickBalancedInvariants(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw % 2048)
+		tr := NewBalanced(n)
+		if tr.Len() != n || tr.Validate() != nil {
+			return false
+		}
+		if n > 0 {
+			// height of a size-balanced tree is at most ceil(log2(n+1))-1... allow <= 2*log2
+			h := tr.Height()
+			bound := 1
+			for m := 1; m < n+1; m *= 2 {
+				bound++
+			}
+			if h > bound {
+				return false
+			}
+		}
+		for id := NodeID(0); int(id) < n; id++ {
+			if tr.Size(id) != tr.Size(tr.Left(id))+tr.Size(tr.Right(id))+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Validate accepts every Builder-produced random topology.
+func TestQuickRandomBSTInvariants(t *testing.T) {
+	f := func(seed int64, raw uint16) bool {
+		n := int(raw%1024) + 1
+		tr := NewRandomBST(n, seed)
+		return tr.Len() == n && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNewBalanced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewBalanced(1 << 14)
+	}
+}

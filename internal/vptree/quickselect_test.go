@@ -1,0 +1,34 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"twist/internal/geom"
+)
+
+func TestQuickselectDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := int32(2 + rng.Intn(100))
+		pts := make([]geom.Point, n)
+		perm := make([]int32, n)
+		d := make([]float64, n)
+		for k := range d {
+			d[k] = rng.Float64()
+			perm[k] = int32(k)
+		}
+		k := n / 2
+		quickselect(pts, perm, d, 0, 0, n, k)
+		for a := int32(0); a < k; a++ {
+			if d[a] > d[k] {
+				t.Fatalf("trial %d: d[%d]=%v > d[k=%d]=%v", trial, a, d[a], k, d[k])
+			}
+		}
+		for a := k + 1; a < n; a++ {
+			if d[a] < d[k] {
+				t.Fatalf("trial %d: d[%d]=%v < d[k=%d]=%v", trial, a, d[a], k, d[k])
+			}
+		}
+	}
+}

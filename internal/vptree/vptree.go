@@ -1,0 +1,97 @@
+// Package vptree builds vantage-point trees: each internal node picks a
+// vantage point and splits its points at the median *distance* from it, so
+// the left child holds the inside of a ball and the right child the outside.
+// The VP benchmark of paper §6.1 runs k-nearest-neighbor over a vp-tree
+// instead of a kd-tree; only the tree shape differs, which is exactly what
+// changes the nested recursion's schedule and locality.
+package vptree
+
+import (
+	"math/rand"
+
+	"twist/internal/geom"
+	"twist/internal/spatial"
+)
+
+// Build constructs a vp-tree over pts with at most leafSize points per leaf.
+// The vantage at each node is chosen pseudo-randomly from the node's points
+// using seed, so construction is deterministic.
+func Build(pts []geom.Point, leafSize int, seed int64) (*spatial.Index, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return spatial.Construct(pts, leafSize, func(p []geom.Point, perm []int32, lo, hi int32) int32 {
+		return vantageSplit(rng, p, perm, lo, hi)
+	})
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(pts []geom.Point, leafSize int, seed int64) *spatial.Index {
+	ix, err := Build(pts, leafSize, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// vantageSplit partitions [lo, hi) at the median distance from a randomly
+// chosen vantage point. The vantage is swapped to the front and kept in the
+// inside (left) half.
+func vantageSplit(rng *rand.Rand, pts []geom.Point, perm []int32, lo, hi int32) int32 {
+	v := lo + int32(rng.Intn(int(hi-lo)))
+	pts[lo], pts[v] = pts[v], pts[lo]
+	perm[lo], perm[v] = perm[v], perm[lo]
+	vp := pts[lo]
+
+	d := make([]float64, hi-lo)
+	allEqual := true
+	for k := lo; k < hi; k++ {
+		d[k-lo] = geom.Dist2(vp, pts[k])
+		if d[k-lo] != d[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		return lo // all points coincide with the vantage; stay a leaf
+	}
+	mid := lo + (hi-lo)/2
+	quickselect(pts, perm, d, lo, lo, hi, mid)
+	// Avoid empty sides when many points share the median distance.
+	for mid > lo+1 && d[mid-1-lo] == d[mid-lo] {
+		mid--
+	}
+	if mid == lo {
+		mid = lo + 1
+	}
+	return mid
+}
+
+// quickselect rearranges pts[lo:hi] (and perm, and the distance key d, which
+// is indexed relative to base) so the element with rank k is in position.
+func quickselect(pts []geom.Point, perm []int32, d []float64, base, lo, hi, k int32) {
+	for hi-lo > 1 {
+		p := d[(lo+(hi-lo)/2)-base]
+		i, j := lo, hi-1
+		for i <= j {
+			for d[i-base] < p {
+				i++
+			}
+			for d[j-base] > p {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				perm[i], perm[j] = perm[j], perm[i]
+				d[i-base], d[j-base] = d[j-base], d[i-base]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}

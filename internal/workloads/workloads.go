@@ -1,0 +1,385 @@
+// Package workloads assembles the paper's six evaluation benchmarks (§6.1)
+// as instances of the nested recursion template:
+//
+//	TJ  — tree join: cross product of two trees (Fig 1a)
+//	MM  — matrix multiplication via Cilk-style divide-and-conquer range
+//	      trees over rows and columns (§6.1, §7.2)
+//	PC  — dual-tree 2-point correlation (kd-tree self-join)
+//	NN  — dual-tree all-nearest-neighbors (kd-trees)
+//	KNN — dual-tree k-nearest-neighbors, k=5 (kd-trees)
+//	VP  — dual-tree k-nearest-neighbors, k=10 (vantage-point trees)
+//
+// Every instance carries, besides its nest.Spec, a checksum of its result
+// (used to verify that all schedules compute the same answer), an operation
+// count for the instruction model, and a Trace function that replays the
+// memory accesses of one work(o, i) invocation for the cache simulation.
+package workloads
+
+import (
+	"fmt"
+
+	"twist/internal/dualtree"
+	"twist/internal/geom"
+	"twist/internal/kdtree"
+	"twist/internal/memsim"
+	"twist/internal/nest"
+	"twist/internal/tree"
+	"twist/internal/vptree"
+)
+
+// Address-space bases for the cache simulation: every data structure lives
+// in its own 1 GiB region so structures never alias.
+const (
+	baseOuterNodes memsim.Addr = 1 << 30
+	baseInnerNodes memsim.Addr = 2 << 30
+	baseOuterData  memsim.Addr = 3 << 30
+	baseInnerData  memsim.Addr = 4 << 30
+	baseMatA       memsim.Addr = 5 << 30
+	baseMatB       memsim.Addr = 6 << 30
+	baseMatC       memsim.Addr = 7 << 30
+)
+
+// nodeStride is the default payload footprint of one tree node: one cache
+// line, matching the paper's §3.2 model where work(o, i) touches exactly
+// node o and node i.
+const nodeStride = 64
+
+// Instance is one runnable benchmark.
+type Instance struct {
+	// Name is the paper's benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
+	Name string
+
+	// Description is a one-line summary for harness output.
+	Description string
+
+	// Spec is the nested recursion to run.
+	Spec nest.Spec
+
+	// Reset clears result state; call before every run.
+	Reset func()
+
+	// Checksum folds the computed result into a value that must agree
+	// across all schedules.
+	Checksum func() uint64
+
+	// ExtraOps reports workload work (e.g. point-pair distance evaluations)
+	// performed during the last run, in instruction-model units.
+	ExtraOps func() int64
+
+	// Trace appends the addresses one work(o, i) invocation touches, in
+	// access order (inner structure first, per the paper's examples).
+	Trace func(o, i tree.NodeID, emit func(memsim.Addr))
+}
+
+// TracedSpec returns a copy of the Spec whose Work additionally replays its
+// memory accesses into emit. Use a fresh Reset before running it.
+func (in *Instance) TracedSpec(emit func(memsim.Addr)) nest.Spec {
+	s := in.Spec
+	work := s.Work
+	trace := in.Trace
+	s.Work = func(o, i tree.NodeID) {
+		trace(o, i, emit)
+		work(o, i)
+	}
+	return s
+}
+
+// Run executes the instance under variant v with the given flag mode and
+// returns the engine statistics (including ExtraOps).
+func (in *Instance) Run(v nest.Variant, fm nest.FlagMode) nest.Stats {
+	in.Reset()
+	e := nest.MustNew(in.Spec)
+	e.Flags = fm
+	e.Run(v)
+	e.Stats.ExtraOps = in.ExtraOps()
+	return e.Stats
+}
+
+// mix is a cheap 64-bit hash combiner for checksums.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// TreeJoin builds the TJ benchmark: a cross product of two balanced binary
+// trees of n nodes each, where each visited pair contributes both nodes'
+// payloads to a running sum (Fig 1a's join). The payload is one cache line
+// per node, so TJ has the paper's "low computational intensity": nearly all
+// time goes to fetching tree data.
+func TreeJoin(n int, seed int64) *Instance {
+	outer := tree.NewBalanced(n)
+	inner := tree.NewBalanced(n)
+	valO := make([][8]uint64, n)
+	valI := make([][8]uint64, n)
+	s := uint64(seed)
+	for k := 0; k < n; k++ {
+		for w := 0; w < 8; w++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			valO[k][w] = s
+			s = s*6364136223846793005 + 1442695040888963407
+			valI[k][w] = s
+		}
+	}
+	var sum uint64
+	var works int64
+	in := &Instance{
+		Name:        "TJ",
+		Description: fmt.Sprintf("tree join, two %d-node balanced trees", n),
+		Reset:       func() { sum, works = 0, 0 },
+		Checksum:    func() uint64 { return sum },
+		ExtraOps:    func() int64 { return works * 16 },
+		Trace: func(o, i tree.NodeID, emit func(memsim.Addr)) {
+			emit(baseInnerNodes + memsim.Addr(i)*nodeStride)
+			emit(baseOuterNodes + memsim.Addr(o)*nodeStride)
+		},
+	}
+	in.Spec = nest.Spec{
+		Outer: outer,
+		Inner: inner,
+		Work: func(o, i tree.NodeID) {
+			works++
+			vo, vi := &valO[o], &valI[i]
+			for w := 0; w < 8; w++ {
+				sum += vo[w] * vi[w]
+			}
+		},
+	}
+	return in
+}
+
+// rangeTree builds a balanced binary tree whose leaves are the indices
+// [0, n) in order, returning the topology and the leaf index of each node
+// (-1 for internal nodes). This is the Cilk-style divide-and-conquer
+// decomposition of a for loop discussed in §7.2.
+func rangeTree(n int) (*tree.Topology, []int32) {
+	b := tree.NewBuilder(2*n - 1)
+	var idx []int32
+	var build func(lo, hi int32) tree.NodeID
+	build = func(lo, hi int32) tree.NodeID {
+		id := b.Add()
+		if hi-lo == 1 {
+			idx = append(idx, lo)
+			return id
+		}
+		idx = append(idx, -1)
+		mid := lo + (hi-lo)/2
+		b.SetLeft(id, build(lo, mid))
+		b.SetRight(id, build(mid, hi))
+		return id
+	}
+	root := build(0, int32(n))
+	return b.MustBuild(root), idx
+}
+
+// MatMul builds the MM benchmark: C = A·B for n×n float64 matrices, with the
+// outer recursion dividing the rows of A and the inner recursion dividing
+// the columns of B; work(o, i) at a leaf-leaf pair is the dot product of row
+// o and column i (§6.1). B is stored column-major so each column is
+// contiguous, as a cache-conscious baseline would.
+func MatMul(n int, seed int64) *Instance {
+	outer, rowIdx := rangeTree(n)
+	inner, colIdx := rangeTree(n)
+	a := make([]float64, n*n)  // row-major
+	bt := make([]float64, n*n) // column-major B (row-major Bᵀ)
+	c := make([]float64, n*n)  // row-major
+	s := uint64(seed)
+	for k := range a {
+		s = s*6364136223846793005 + 1442695040888963407
+		a[k] = float64(s%1000) / 1000
+		s = s*6364136223846793005 + 1442695040888963407
+		bt[k] = float64(s%1000) / 1000
+	}
+	var pairs int64
+	lineFloats := int32(8) // 64B line holds 8 float64s
+	in := &Instance{
+		Name:        "MM",
+		Description: fmt.Sprintf("recursive matrix multiply, %dx%d", n, n),
+		Reset: func() {
+			pairs = 0
+			for k := range c {
+				c[k] = 0
+			}
+		},
+		Checksum: func() uint64 {
+			var h uint64 = 14695981039346656037
+			for _, v := range c {
+				h = mix(h, uint64(v*1024))
+			}
+			return h
+		},
+		ExtraOps: func() int64 { return pairs * int64(n) * 2 },
+		Trace: func(o, i tree.NodeID, emit func(memsim.Addr)) {
+			r, cl := rowIdx[o], colIdx[i]
+			if r < 0 || cl < 0 {
+				return
+			}
+			// The dot product streams one column of B and one row of A.
+			for k := int32(0); k < int32(n); k += lineFloats {
+				emit(baseMatB + memsim.Addr(cl*int32(n)+k)*8)
+			}
+			for k := int32(0); k < int32(n); k += lineFloats {
+				emit(baseMatA + memsim.Addr(r*int32(n)+k)*8)
+			}
+			emit(baseMatC + memsim.Addr(r*int32(n)+cl)*8)
+		},
+	}
+	in.Spec = nest.Spec{
+		Outer: outer,
+		Inner: inner,
+		Work: func(o, i tree.NodeID) {
+			r, cl := rowIdx[o], colIdx[i]
+			if r < 0 || cl < 0 {
+				return
+			}
+			pairs++
+			row := a[int(r)*n : int(r+1)*n]
+			col := bt[int(cl)*n : int(cl+1)*n]
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += row[k] * col[k]
+			}
+			c[int(r)*n+int(cl)] = dot
+		},
+	}
+	return in
+}
+
+// dualTraced builds the shared Trace function for the dual-tree benchmarks:
+// each work(o, i) touches the two tree nodes; a leaf-leaf pair additionally
+// streams both leaves' point data.
+func dualTraced(query, ref interface {
+	NodePoints(tree.NodeID) []geom.Point
+}, qTopo, rTopo *tree.Topology, qStart, rStart []int32) func(o, i tree.NodeID, emit func(memsim.Addr)) {
+	const ptBytes = 24 // 3 float64 coordinates
+	return func(o, i tree.NodeID, emit func(memsim.Addr)) {
+		emit(baseInnerNodes + memsim.Addr(i)*nodeStride)
+		emit(baseOuterNodes + memsim.Addr(o)*nodeStride)
+		if !qTopo.IsLeaf(o) || !rTopo.IsLeaf(i) {
+			return
+		}
+		nq := int32(len(query.NodePoints(o)))
+		nr := int32(len(ref.NodePoints(i)))
+		for k := int32(0); k*64 < nr*ptBytes; k++ {
+			emit(baseInnerData + memsim.Addr(rStart[i])*ptBytes + memsim.Addr(k)*64)
+		}
+		for k := int32(0); k*64 < nq*ptBytes; k++ {
+			emit(baseOuterData + memsim.Addr(qStart[o])*ptBytes + memsim.Addr(k)*64)
+		}
+	}
+}
+
+// leafSize is the leaf bucket capacity for all spatial trees.
+const leafSize = 8
+
+// PointCorr builds the PC benchmark: dual-tree 2-point correlation of n
+// uniform points against themselves with the given radius. The radius
+// controls how much of the reference tree each query's traversal visits —
+// and hence, as in the paper's Fig 9, whether the per-traversal working set
+// fits in cache (small inputs) or thrashes it (large ones).
+func PointCorr(n int, radius float64, seed int64) *Instance {
+	pts := geom.Generate(geom.Uniform, n, seed)
+	ix := kdtree.MustBuild(pts, leafSize)
+	pc := dualtree.NewPC(ix, ix, radius)
+	return &Instance{
+		Name:        "PC",
+		Description: fmt.Sprintf("dual-tree point correlation, %d points, r=%.3g", n, radius),
+		Spec:        pc.Spec(),
+		Reset:       pc.Reset,
+		Checksum:    func() uint64 { return uint64(pc.Count) },
+		ExtraOps:    func() int64 { return pc.PairOps * 8 },
+		Trace:       dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+	}
+}
+
+// NearestNeighbor builds the NN benchmark: all-nearest-neighbors of n
+// uniform query points in n uniform reference points.
+func NearestNeighbor(n int, seed int64) *Instance {
+	q := kdtree.MustBuild(geom.Generate(geom.Uniform, n, seed), leafSize)
+	r := kdtree.MustBuild(geom.Generate(geom.Uniform, n, seed+1), leafSize)
+	nn := dualtree.NewNN(q, r)
+	return &Instance{
+		Name:        "NN",
+		Description: fmt.Sprintf("dual-tree nearest neighbor, %d queries in %d refs", n, n),
+		Spec:        nn.Spec(),
+		Reset:       nn.Reset,
+		Checksum: func() uint64 {
+			var h uint64 = 14695981039346656037
+			for k := range nn.BestI {
+				h = mix(h, uint64(nn.BestI[k]))
+			}
+			return h
+		},
+		ExtraOps: func() int64 { return nn.PairOps * 8 },
+		Trace:    dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+	}
+}
+
+// KNearest builds the KNN benchmark (k=5 in the paper) over kd-trees.
+func KNearest(n, k int, seed int64) *Instance {
+	q := kdtree.MustBuild(geom.Generate(geom.Clustered, n, seed), leafSize)
+	r := kdtree.MustBuild(geom.Generate(geom.Clustered, n, seed+1), leafSize)
+	kn := dualtree.NewKNN(q, r, k)
+	return &Instance{
+		Name:        "KNN",
+		Description: fmt.Sprintf("dual-tree %d-nearest neighbor, %d points", k, n),
+		Spec:        kn.Spec(),
+		Reset:       kn.Reset,
+		Checksum:    func() uint64 { return knnChecksum(kn, n) },
+		ExtraOps:    func() int64 { return kn.PairOps * 8 },
+		Trace:       dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+	}
+}
+
+// VPKNearest builds the VP benchmark (k=10 in the paper): k-nearest-neighbor
+// self-join over a vantage-point tree.
+func VPKNearest(n, k int, seed int64) *Instance {
+	ix := vptree.MustBuild(geom.Generate(geom.Clustered, n, seed), leafSize, seed)
+	kn := dualtree.NewKNN(ix, ix, k)
+	return &Instance{
+		Name:        "VP",
+		Description: fmt.Sprintf("vp-tree %d-nearest neighbor self-join, %d points", k, n),
+		Spec:        kn.Spec(),
+		Reset:       kn.Reset,
+		Checksum:    func() uint64 { return knnChecksum(kn, n) },
+		ExtraOps:    func() int64 { return kn.PairOps * 8 },
+		Trace:       dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+	}
+}
+
+func knnChecksum(kn *dualtree.KNN, n int) uint64 {
+	var h uint64 = 14695981039346656037
+	for q := 0; q < n; q++ {
+		_, is := kn.Result(q)
+		for _, i := range is {
+			h = mix(h, uint64(i))
+		}
+	}
+	return h
+}
+
+// Suite returns the paper's six benchmarks at a common scale parameter n.
+// Per-benchmark sizes are chosen so each reaches the paper's interesting
+// regime at comparable cost: TJ performs Θ(n²) work so it runs at n/4 nodes,
+// MM performs Θ(m³) work so it runs at m = n/64, and the dual-tree
+// benchmarks run at n points (PC with radius 0.4, which at the default
+// scales makes per-query traversals exceed the simulated LLC — the paper's
+// large-input regime of Fig 9).
+func Suite(n int, seed int64) []*Instance {
+	tj := n / 4
+	if tj < 64 {
+		tj = 64
+	}
+	m := n / 64
+	if m < 32 {
+		m = 32
+	}
+	return []*Instance{
+		TreeJoin(tj, seed),
+		MatMul(m, seed),
+		PointCorr(n, 0.4, seed),
+		NearestNeighbor(n, seed),
+		KNearest(n, 5, seed),
+		VPKNearest(n, 10, seed),
+	}
+}

@@ -1,0 +1,187 @@
+// Package twist is a library of locality-enhancing scheduling transformations
+// for nested recursive iteration spaces, reproducing "Locality
+// Transformations for Nested Recursive Iteration Spaces" (Sundararajah,
+// Sakka, Kulkarni — ASPLOS 2017).
+//
+// A nested recursion — a recursive method that calls another recursive
+// method, as in a tree join or a dual-tree n-body algorithm — defines a
+// two-dimensional iteration space whose points are pairs (o, i) of positions
+// in an outer and an inner tree. This package reschedules such computations:
+//
+//   - Original: the untransformed column-by-column schedule.
+//   - Interchanged: recursion interchange, the analog of loop interchange.
+//   - Twisted: recursion twisting, a parameterless analog of multi-level
+//     loop tiling that improves locality at every level of the memory
+//     hierarchy simultaneously.
+//   - TwistedCutoff: twisting with a cutoff parameter that falls back to
+//     the original order for small subproblems.
+//
+// Programs with data-dependent truncation (an inner recursion cut off based
+// on both indices, as dual-tree algorithms do with Score-based pruning) are
+// handled with truncation flags; see Spec.TruncInner2 and Spec.Hereditary.
+//
+// # Quick start
+//
+//	outer := twist.NewBalancedTree(1 << 10)
+//	inner := twist.NewBalancedTree(1 << 10)
+//	spec := twist.Spec{
+//		Outer: outer,
+//		Inner: inner,
+//		Work:  func(o, i twist.NodeID) { join(o, i) },
+//	}
+//	exec := twist.MustNew(spec)
+//	exec.Run(twist.Twisted())
+//
+// The iteration order changes; the set of Work invocations (and, for
+// programs meeting the paper's soundness criterion, the program result)
+// does not.
+package twist
+
+import (
+	"twist/internal/depcheck"
+	"twist/internal/loopnest"
+	"twist/internal/nest"
+	"twist/internal/sched"
+	"twist/internal/tree"
+)
+
+// NodeID identifies a node of a Topology; Nil is the absent child.
+type NodeID = tree.NodeID
+
+// Nil is the absent-node sentinel.
+const Nil = tree.Nil
+
+// Topology is the shape of a binary tree: the index space of one recursion.
+type Topology = tree.Topology
+
+// TreeBuilder constructs Topologies node by node.
+type TreeBuilder = tree.Builder
+
+// NewTreeBuilder returns a TreeBuilder with capacity for n nodes.
+func NewTreeBuilder(n int) *TreeBuilder { return tree.NewBuilder(n) }
+
+// NewBalancedTree builds a balanced binary tree with n nodes, IDs assigned
+// in preorder.
+func NewBalancedTree(n int) *Topology { return tree.NewBalanced(n) }
+
+// NewPerfectTree builds a perfect binary tree of the given height in edges.
+func NewPerfectTree(height int) *Topology { return tree.NewPerfect(height) }
+
+// NewChainTree builds a degenerate right-spine tree — the recursion template
+// over chains devolves into an ordinary nested loop.
+func NewChainTree(n int) *Topology { return tree.NewChain(n) }
+
+// NewRandomBST builds the shape of a random-insertion binary search tree.
+func NewRandomBST(n int, seed int64) *Topology { return tree.NewRandomBST(n, seed) }
+
+// Spec describes one instance of the nested recursion template.
+type Spec = nest.Spec
+
+// Exec executes a Spec under the transformed schedules.
+type Exec = nest.Exec
+
+// Stats holds the dynamic operation counts of a run.
+type Stats = nest.Stats
+
+// FlagMode selects the truncation-flag representation for irregular spaces.
+type FlagMode = nest.FlagMode
+
+// Truncation-flag representations: FlagSets is the paper's Fig 6(b) set
+// protocol; FlagCounter is the §4.3 preorder-counter optimization.
+const (
+	FlagSets    = nest.FlagSets
+	FlagCounter = nest.FlagCounter
+)
+
+// Variant selects a schedule.
+type Variant = nest.Variant
+
+// New returns an Exec for the given spec.
+func New(s Spec) (*Exec, error) { return nest.New(s) }
+
+// MustNew is New that panics on error.
+func MustNew(s Spec) *Exec { return nest.MustNew(s) }
+
+// Original is the untransformed column-by-column schedule.
+func Original() Variant { return nest.Original() }
+
+// Interchanged is the row-by-row schedule of recursion interchange.
+func Interchanged() Variant { return nest.Interchanged() }
+
+// Twisted is parameterless recursion twisting.
+func Twisted() Variant { return nest.Twisted() }
+
+// TwistedCutoff is twisting with a cutoff: the schedule only twists while
+// the tree held by the inner recursion is larger than cutoff.
+func TwistedCutoff(cutoff int) Variant { return nest.TwistedCutoff(cutoff) }
+
+// RunParallel executes the computation with the task-parallel decomposition
+// of paper §7.3: one task per outer subtree at spawnDepth (shallower columns
+// run sequentially first), each task running variant v — typically
+// Twisted(), applied only after enough parallelism has been generated, as
+// the paper prescribes. Work and the truncation predicates must be safe to
+// call concurrently for distinct outer subtrees. At most workers tasks run
+// at once (0 = unbounded). Per-task statistics are returned in spawn order.
+func RunParallel(s Spec, v Variant, spawnDepth, workers int) ([]Stats, error) {
+	return nest.RunParallel(s, v, spawnDepth, workers, nil)
+}
+
+// Pair is one iteration of the space: an outer and an inner tree node.
+type Pair = sched.Pair
+
+// Record executes variant v of spec s and returns the iterations in
+// execution order (the spec's own Work still runs).
+func Record(s Spec, v Variant) ([]Pair, error) { return sched.Record(s, v) }
+
+// RenderGrid renders a recorded schedule as the iteration-space matrices of
+// the paper's Fig 1(c)/4(b): each cell holds the iteration's position in the
+// schedule.
+func RenderGrid(outer, inner *Topology, pairs []Pair) string {
+	return sched.Grid(outer, inner, pairs)
+}
+
+// CheckSchedule verifies that got is a permutation of reference that
+// preserves per-column order — the paper's §3.3 soundness conditions for
+// programs whose dependences are carried over the inner recursion.
+func CheckSchedule(reference, got []Pair) error { return sched.Check(reference, got) }
+
+// LoopNest recasts a doubly-nested for loop as a nested recursive iteration
+// space (the §7.2 front-end), so Twisted() acts as automatic, parameterless
+// multi-level loop tiling.
+type LoopNest = loopnest.Nest
+
+// NewLoopNest builds the recursive decomposition of an n×m loop nest with
+// the given grain size (indices per recursion leaf; 1 decomposes fully).
+func NewLoopNest(n, m, leafRun int) (*LoopNest, error) { return loopnest.New(n, m, leafRun) }
+
+// Loc is an abstract memory location for dependence analysis.
+type Loc = depcheck.Loc
+
+// Footprint reports the locations one work(o, i) invocation reads and writes.
+type Footprint = depcheck.Footprint
+
+// DependenceKind classifies a program's dependence structure.
+type DependenceKind = depcheck.Kind
+
+// Dependence structures, in increasing strictness of what they permit:
+// Independent (TJ, MM), InnerCarried (the dual-tree benchmarks; outer
+// recursion parallel, transformations sound per §3.3), CrossColumn (the
+// §3.3 sufficient condition fails).
+const (
+	Independent  = depcheck.Independent
+	InnerCarried = depcheck.InnerCarried
+	CrossColumn  = depcheck.CrossColumn
+)
+
+// DependenceResult is the outcome of AnalyzeDependences; its Sound method
+// reports whether the §3.3 criterion held on the analyzed input.
+type DependenceResult = depcheck.Result
+
+// AnalyzeDependences executes the original schedule of s, recording every
+// iteration's footprint, and classifies the dependence structure — the
+// dynamic version of the soundness analysis the paper leaves to future work
+// (§3.3). A Sound() result certifies interchange and twisting for the
+// analyzed input.
+func AnalyzeDependences(s Spec, fp Footprint, maxConflicts int) (DependenceResult, error) {
+	return depcheck.Analyze(s, fp, maxConflicts)
+}

@@ -1,0 +1,156 @@
+package twist_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"twist"
+)
+
+// The README quick-start, as a compiling test: twisting reorders iterations
+// without changing the set of work performed.
+func TestQuickStart(t *testing.T) {
+	outer := twist.NewBalancedTree(1 << 6)
+	inner := twist.NewBalancedTree(1 << 6)
+	var visits int
+	spec := twist.Spec{
+		Outer: outer,
+		Inner: inner,
+		Work:  func(o, i twist.NodeID) { visits++ },
+	}
+	exec := twist.MustNew(spec)
+	exec.Run(twist.Twisted())
+	if visits != (1<<6)*(1<<6) {
+		t.Fatalf("twisted run visited %d pairs, want %d", visits, (1<<6)*(1<<6))
+	}
+	if exec.Stats.Twists == 0 {
+		t.Fatal("twisting never switched orientation")
+	}
+}
+
+func TestFacadeScheduleChecking(t *testing.T) {
+	s := twist.Spec{
+		Outer: twist.NewRandomBST(40, 1),
+		Inner: twist.NewRandomBST(50, 2),
+		Work:  func(o, i twist.NodeID) {},
+	}
+	ref, err := twist.Record(s, twist.Original())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []twist.Variant{twist.Interchanged(), twist.Twisted(), twist.TwistedCutoff(8)} {
+		got, err := twist.Record(s, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := twist.CheckSchedule(ref, got); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestFacadeGrid(t *testing.T) {
+	s := twist.Spec{
+		Outer: twist.NewPerfectTree(2),
+		Inner: twist.NewPerfectTree(2),
+		Work:  func(o, i twist.NodeID) {},
+	}
+	pairs, err := twist.Record(s, twist.Twisted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := twist.RenderGrid(s.Outer, s.Inner, pairs); len(g) == 0 {
+		t.Fatal("empty grid")
+	}
+}
+
+func TestFacadeChain(t *testing.T) {
+	// Chains devolve the template to a plain doubly-nested loop.
+	s := twist.Spec{
+		Outer: twist.NewChainTree(5),
+		Inner: twist.NewChainTree(5),
+		Work:  func(o, i twist.NodeID) {},
+	}
+	pairs, err := twist.Record(s, twist.Original())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 25 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+}
+
+func TestFacadeBuilder(t *testing.T) {
+	b := twist.NewTreeBuilder(3)
+	root := b.Add()
+	l, r := b.Add(), b.Add()
+	b.SetLeft(root, l)
+	b.SetRight(root, r)
+	topo, err := b.Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Len() != 3 || topo.Size(root) != 3 {
+		t.Fatal("builder topology malformed")
+	}
+}
+
+func TestFacadeLoopNest(t *testing.T) {
+	ln, err := twist.NewLoopNest(6, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	ln.Run(func(o, i int) { count++ }, twist.Twisted())
+	if count != 24 {
+		t.Fatalf("loop nest executed %d iterations", count)
+	}
+	if _, err := twist.NewLoopNest(0, 4, 1); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+}
+
+func TestFacadeDependenceAnalysis(t *testing.T) {
+	s := twist.Spec{
+		Outer: twist.NewBalancedTree(7),
+		Inner: twist.NewBalancedTree(7),
+		Work:  func(o, i twist.NodeID) {},
+	}
+	res, err := twist.AnalyzeDependences(s, func(o, i twist.NodeID) ([]twist.Loc, []twist.Loc) {
+		return []twist.Loc{twist.Loc(o)}, nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != twist.Independent || !res.Sound() {
+		t.Fatalf("read-only footprint classified %v", res.Kind)
+	}
+	res, err = twist.AnalyzeDependences(s, func(o, i twist.NodeID) ([]twist.Loc, []twist.Loc) {
+		return nil, []twist.Loc{1}
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != twist.CrossColumn || res.Sound() {
+		t.Fatalf("shared write classified %v", res.Kind)
+	}
+}
+
+func TestFacadeRunParallel(t *testing.T) {
+	var n atomic.Int64
+	s := twist.Spec{
+		Outer: twist.NewBalancedTree(31),
+		Inner: twist.NewBalancedTree(31),
+		Work:  func(o, i twist.NodeID) { n.Add(1) },
+	}
+	stats, err := twist.RunParallel(s, twist.Twisted(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 31*31 {
+		t.Fatalf("parallel run performed %d work", n.Load())
+	}
+	if len(stats) < 2 {
+		t.Fatalf("%d task stats", len(stats))
+	}
+}
