@@ -19,22 +19,32 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"twist/internal/experiments"
+	"twist/internal/nest"
 	"twist/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, all")
-		scale   = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b (points per dual-tree benchmark)")
+		exp     = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
+		scale   = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
 		n       = flag.Int("n", 1024, "tree size for fig5")
 		pcN     = flag.Int("pcn", 8192, "PC input size for fig10/iters")
 		radius  = flag.Float64("radius", 0.4, "PC correlation radius")
 		seed    = flag.Int64("seed", 42, "workload seed")
 		repeats = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
+		workers = flag.Int("workers", 0, "parallel dimension for fig7/fig8b/bench: run the work-stealing executor with this many workers (0 = off)")
+		variant = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
 	)
 	flag.Parse()
+
+	v, err := nest.ParseVariant(*variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	run := func(name string, f func() error) {
 		fmt.Printf("== %s ==\n", name)
@@ -57,7 +67,7 @@ func main() {
 	}
 	if all || *exp == "fig7" {
 		any = true
-		run("fig7: speedup of recursion twisting", func() error { return fig7(*scale, *seed, *repeats) })
+		run("fig7: speedup of recursion twisting", func() error { return fig7(*scale, *seed, *repeats, *workers) })
 	}
 	if all || *exp == "fig8a" {
 		any = true
@@ -65,7 +75,11 @@ func main() {
 	}
 	if all || *exp == "fig8b" {
 		any = true
-		run("fig8b: simulated L2/L3 miss rates", func() error { return fig8b(*scale, *seed) })
+		run("fig8b: simulated L2/L3 miss rates", func() error { return fig8b(*scale, *seed, *workers) })
+	}
+	if *exp == "bench" {
+		any = true
+		run("bench: suite under one schedule", func() error { return bench(*scale, *seed, *repeats, *workers, v) })
 	}
 	if all || *exp == "fig9" {
 		any = true
@@ -118,17 +132,59 @@ func fig5(n int, seed int64) error {
 	return w.Flush()
 }
 
-func fig7(scale int, seed int64, repeats int) error {
-	rows, err := experiments.Fig7(scale, seed, repeats)
+func fig7(scale int, seed int64, repeats, workers int) error {
+	rows, err := experiments.Fig7(scale, seed, repeats, workers)
 	if err != nil {
 		return err
 	}
 	w := table()
-	fmt.Fprintln(w, "bench\tbaseline\ttwisted\tspeedup")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", r.Bench, r.Baseline, r.Twisted, r.Speedup)
+	if workers >= 1 {
+		fmt.Fprintf(w, "bench\tbaseline\ttwisted\tspeedup\tpar w=1\tpar w=%d\tpar speedup\n", workers)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%v\t%v\t%.2fx\n",
+				r.Bench, r.Baseline, r.Twisted, r.Speedup, r.Par1, r.ParN, r.ParSpeedup)
+		}
+	} else {
+		fmt.Fprintln(w, "bench\tbaseline\ttwisted\tspeedup")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", r.Bench, r.Baseline, r.Twisted, r.Speedup)
+		}
 	}
 	fmt.Fprintf(w, "geomean\t\t\t%.2fx\n", experiments.GeoMean(rows))
+	return w.Flush()
+}
+
+func bench(scale int, seed int64, repeats, workers int, v nest.Variant) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	w := table()
+	fmt.Fprintln(w, "bench\tschedule\twall\titerations\twork\tchecksum")
+	for _, in := range workloads.Suite(scale, seed) {
+		var st nest.Stats
+		var best time.Duration
+		mode := "seq"
+		for k := 0; k < repeats; k++ {
+			start := time.Now()
+			if workers >= 1 {
+				res, err := in.RunWith(nest.RunConfig{Variant: v, Workers: workers, Stealing: true})
+				if err != nil {
+					return err
+				}
+				if k > 0 && res.Stats != st {
+					return fmt.Errorf("bench: %s merged stats not deterministic across runs", in.Name)
+				}
+				st = res.Stats
+				mode = fmt.Sprintf("w=%d", workers)
+			} else {
+				st = in.Run(v, nest.FlagCounter)
+			}
+			if wall := time.Since(start); k == 0 || wall < best {
+				best = wall
+			}
+		}
+		fmt.Fprintf(w, "%s\t%v (%s)\t%v\t%d\t%d\t%#x\n", in.Name, v, mode, best, st.Iterations, st.Work, in.Checksum())
+	}
 	return w.Flush()
 }
 
@@ -142,8 +198,11 @@ func fig8a(scale int, seed int64) error {
 	return w.Flush()
 }
 
-func fig8b(scale int, seed int64) error {
-	rows := experiments.Fig8b(scale, seed)
+func fig8b(scale int, seed int64, workers int) error {
+	rows, err := experiments.Fig8b(scale, seed, workers)
+	if err != nil {
+		return err
+	}
 	w := table()
 	fmt.Fprintln(w, "bench\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
 	for _, r := range rows {

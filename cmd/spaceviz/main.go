@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		height    = flag.Int("height", 2, "height of both perfect trees (2 gives the paper's 7-node example)")
-		schedule  = flag.String("schedule", "all", "schedule: original, interchanged, twisted, all")
+		schedule  = flag.String("schedule", "all", "schedule: all, or any nest.ParseVariant name (original, interchanged, twisted, twisted-cutoff[:N])")
 		cutoff    = flag.Int("cutoff", -1, "if >= 0, render twisted-with-cutoff instead of parameterless twisting")
 		irregular = flag.Bool("irregular", false, "apply the Fig 6(a) truncation: skip (B,2) and its descendants")
 		order     = flag.Bool("order", false, "also print the schedule as a (label,label) sequence")
@@ -40,33 +40,33 @@ func main() {
 		spec.TruncInner2 = func(o, i tree.NodeID) bool { return o == 1 && i == 1 }
 	}
 
-	variants := map[string]nest.Variant{
-		"original":     nest.Original(),
-		"interchanged": nest.Interchanged(),
-		"twisted":      nest.Twisted(),
+	var variants []nest.Variant
+	if *schedule == "all" {
+		variants = []nest.Variant{nest.Original(), nest.Interchanged(), nest.Twisted()}
+	} else {
+		v, err := nest.ParseVariant(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spaceviz: %v\n", err)
+			os.Exit(2)
+		}
+		variants = []nest.Variant{v}
 	}
 	if *cutoff >= 0 {
-		variants["twisted"] = nest.TwistedCutoff(*cutoff)
-	}
-	names := []string{"original", "interchanged", "twisted"}
-	if *schedule != "all" {
-		if _, ok := variants[*schedule]; !ok {
-			fmt.Fprintf(os.Stderr, "spaceviz: unknown schedule %q\n", *schedule)
-			os.Exit(2)
+		// Back-compat: -cutoff upgrades the plain twisted schedule.
+		for k, v := range variants {
+			if v == nest.Twisted() {
+				variants[k] = nest.TwistedCutoff(*cutoff)
+			}
 		}
 	}
 
-	for _, name := range names {
-		if *schedule != "all" && *schedule != name {
-			continue
-		}
-		v := variants[name]
+	for _, v := range variants {
 		pairs, err := sched.Record(spec, v)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spaceviz: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s schedule (%d iterations) ==\n", name, len(pairs))
+		fmt.Printf("== %s schedule (%d iterations) ==\n", v, len(pairs))
 		fmt.Print(sched.Grid(outer, inner, pairs))
 		if *order {
 			fmt.Println()

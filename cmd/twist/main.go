@@ -10,6 +10,8 @@
 //	twist -in join.go                  # writes join_twisted.go
 //	twist -in join.go -out sched.go    # explicit output path
 //	twist -in join.go -stdout          # print to stdout
+//	twist -in join.go -variants twisted
+//	                                   # emit only one schedule family
 //
 // See examples/transform for an annotated corpus and internal/transform for
 // the template rules.
@@ -21,20 +23,32 @@ import (
 	"os"
 	"strings"
 
+	"twist/internal/nest"
 	"twist/internal/transform"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input Go file containing the annotated template (required)")
-		out    = flag.String("out", "", "output file (default: <in>_twisted.go)")
-		stdout = flag.Bool("stdout", false, "write generated code to stdout instead of a file")
+		in       = flag.String("in", "", "input Go file containing the annotated template (required)")
+		out      = flag.String("out", "", "output file (default: <in>_twisted.go)")
+		stdout   = flag.Bool("stdout", false, "write generated code to stdout instead of a file")
+		variants = flag.String("variants", "", "comma-separated schedule families to emit (interchanged, twisted, twisted-cutoff); empty means all")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "twist: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	var vs []nest.Variant
+	if *variants != "" {
+		for _, name := range strings.Split(*variants, ",") {
+			v, err := nest.ParseVariant(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			vs = append(vs, v)
+		}
 	}
 	src, err := os.ReadFile(*in)
 	if err != nil {
@@ -44,7 +58,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	code, err := transform.Generate(tmpl)
+	code, err := transform.GenerateVariants(tmpl, vs)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,13 +1,14 @@
 // parallel demonstrates §7.3: the outer recursion's independence (the same
-// property that makes twisting sound) makes it task-parallel — spawn one
-// task per outer subtree, then apply twisting *within* each task once enough
-// parallelism exists. The example runs a point-correlation count under
-// sequential twisting and parallel-then-twisted execution and verifies the
-// counts agree.
+// property that makes twisting sound) makes it task-parallel — split the
+// outer tree into subtree tasks, then apply twisting *within* each task once
+// enough parallelism exists. The example runs a point-correlation count
+// under sequential twisting and under the work-stealing executor and
+// verifies the counts agree and the merged Stats are identical across
+// worker counts.
 //
 // Run with:
 //
-//	go run ./examples/parallel [-n 20000] [-depth 3]
+//	go run ./examples/parallel [-n 20000] [-workers 4]
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 20000, "number of points")
-	depth := flag.Int("depth", 3, "outer-tree depth at which tasks are spawned (2^depth tasks)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	radius := flag.Float64("r", 0.2, "correlation radius")
 	flag.Parse()
 
@@ -60,8 +61,11 @@ func main() {
 		},
 	}
 
-	fmt.Printf("point correlation, %d points, r=%.2f, %d cores\n\n",
-		*n, *radius, runtime.NumCPU())
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("point correlation, %d points, r=%.2f, %d workers\n\n", *n, *radius, w)
 
 	count.Store(0)
 	t0 := time.Now()
@@ -69,21 +73,33 @@ func main() {
 	e.Run(nest.Twisted())
 	seq := time.Since(t0)
 	want := count.Load()
-	fmt.Printf("sequential twisted:          %8v  count=%d\n", seq.Round(time.Millisecond), want)
+	fmt.Printf("sequential twisted:        %8v  count=%d\n", seq.Round(time.Millisecond), want)
+
+	// One worker first: the decomposition depends only on the spawn depth,
+	// so this run's merged Stats are the determinism baseline.
+	count.Store(0)
+	base, err := e.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: 1, Stealing: true})
+	if err != nil {
+		panic(err)
+	}
 
 	count.Store(0)
 	t0 = time.Now()
-	stats, err := nest.RunParallel(spec, nest.Twisted(), *depth, 0, nil)
+	res, err := e.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: w, Stealing: true})
 	if err != nil {
 		panic(err)
 	}
 	par := time.Since(t0)
-	fmt.Printf("parallel (%2d tasks) twisted: %8v  count=%d  speedup=%.2fx\n",
-		len(stats)-1, par.Round(time.Millisecond), count.Load(),
-		float64(seq)/float64(par))
+	fmt.Printf("stealing (%2d workers):     %8v  count=%d  speedup=%.2fx  tasks=%d steals=%d\n",
+		res.Workers, par.Round(time.Millisecond), count.Load(),
+		float64(seq)/float64(par), res.Tasks, res.Steals)
 
 	if count.Load() != want {
 		panic("parallel execution changed the result")
 	}
-	fmt.Println("\nresults agree; per-task twisting preserves each task's locality")
+	if res.Stats != base.Stats {
+		panic("merged stats differ across worker counts")
+	}
+	fmt.Println("\ncounts agree and merged stats are identical across worker counts;")
+	fmt.Println("per-task twisting preserves each task's locality")
 }

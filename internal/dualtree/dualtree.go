@@ -56,7 +56,12 @@ func NewPC(query, ref *spatial.Index, radius float64) *PC {
 func (p *PC) Reset() { p.Count, p.PairOps = 0, 0 }
 
 // Spec assembles the nested-recursion template for this instance.
-func (p *PC) Spec() nest.Spec {
+func (p *PC) Spec() nest.Spec { return p.SpecInto(&p.Count, &p.PairOps) }
+
+// SpecInto is Spec with the result cells supplied by the caller. Parallel
+// runs use it to give each task a private (count, pairOps) shard, summed
+// after the run; the template is otherwise identical to Spec's.
+func (p *PC) SpecInto(count, pairOps *int64) nest.Spec {
 	selfJoin := p.Query == p.Ref
 	return nest.Spec{
 		Outer:      p.Query.Topo,
@@ -71,14 +76,14 @@ func (p *PC) Spec() nest.Spec {
 			}
 			qs := p.Query.NodePoints(o)
 			rs := p.Ref.NodePoints(i)
-			p.PairOps += int64(len(qs)) * int64(len(rs))
+			*pairOps += int64(len(qs)) * int64(len(rs))
 			for qk, q := range qs {
 				for rk, r := range rs {
 					if selfJoin && p.Query.Perm[int(p.Query.Start[o])+qk] == p.Ref.Perm[int(p.Ref.Start[i])+rk] {
 						continue
 					}
 					if geom.Dist2(q, r) <= p.R2 {
-						p.Count++
+						*count++
 					}
 				}
 			}
@@ -140,7 +145,11 @@ func (nn *NN) Reset() {
 		nn.BestD[k] = math.Inf(1)
 		nn.BestI[k] = -1
 	}
-	nn.bound = make([]float64, nn.Query.Topo.Len())
+	// Cleared in place: Spec closures capture the slice, so reallocating
+	// here would leave them tightening a stale array across runs.
+	if nn.bound == nil {
+		nn.bound = make([]float64, nn.Query.Topo.Len())
+	}
 	for k := range nn.bound {
 		nn.bound[k] = math.Inf(1)
 	}
@@ -154,13 +163,21 @@ func better(d float64, idx int32, d0 float64, idx0 int32) bool {
 }
 
 // Spec assembles the nested-recursion template for this instance.
-func (nn *NN) Spec() nest.Spec {
+func (nn *NN) Spec() nest.Spec { return nn.SpecInto(nn.bound, &nn.PairOps) }
+
+// SpecInto is Spec with the pruning-bound array and the pairOps cell
+// supplied by the caller. Parallel runs give each task a fresh all-infinite
+// bound array (conservative pruning — always sound, and it makes each
+// task's behaviour a pure function of its subtree) plus a private pairOps
+// shard. BestD/BestI stay shared: distinct outer subtrees touch disjoint
+// query points, so concurrent tasks never write the same cell.
+func (nn *NN) SpecInto(bound []float64, pairOps *int64) nest.Spec {
 	return nest.Spec{
 		Outer:      nn.Query.Topo,
 		Inner:      nn.Ref.Topo,
 		Hereditary: true,
 		TruncInner2: func(o, i tree.NodeID) bool {
-			return nn.Query.MinDist2(o, nn.Ref, i) > nn.bound[o]
+			return nn.Query.MinDist2(o, nn.Ref, i) > bound[o]
 		},
 		Work: func(o, i tree.NodeID) {
 			if !nn.Query.Topo.IsLeaf(o) || !nn.Ref.Topo.IsLeaf(i) {
@@ -168,7 +185,7 @@ func (nn *NN) Spec() nest.Spec {
 			}
 			qs := nn.Query.NodePoints(o)
 			rs := nn.Ref.NodePoints(i)
-			nn.PairOps += int64(len(qs)) * int64(len(rs))
+			*pairOps += int64(len(qs)) * int64(len(rs))
 			newBound := 0.0
 			for qk, q := range qs {
 				qi := nn.Query.Perm[int(nn.Query.Start[o])+qk]
@@ -184,25 +201,34 @@ func (nn *NN) Spec() nest.Spec {
 					newBound = bd
 				}
 			}
-			nn.tighten(o, newBound)
+			tighten(nn.Query.Topo, bound, o, newBound)
 		},
 	}
 }
 
+// InfBounds returns a fresh all-infinite bound array sized for the query
+// tree — the starting state of SpecInto's pruning for one parallel task.
+func InfBounds(topo *tree.Topology) []float64 {
+	bound := make([]float64, topo.Len())
+	for k := range bound {
+		bound[k] = math.Inf(1)
+	}
+	return bound
+}
+
 // tighten lowers the leaf's bound to b and propagates the improvement up the
 // query tree: an ancestor's bound is the max of its children's.
-func (nn *NN) tighten(leaf tree.NodeID, b float64) {
-	topo := nn.Query.Topo
-	if b >= nn.bound[leaf] {
+func tighten(topo *tree.Topology, bound []float64, leaf tree.NodeID, b float64) {
+	if b >= bound[leaf] {
 		return
 	}
-	nn.bound[leaf] = b
+	bound[leaf] = b
 	for n := topo.Parent(leaf); n != tree.Nil; n = topo.Parent(n) {
-		nb := childBoundMax(topo, nn.bound, n)
-		if nb >= nn.bound[n] {
+		nb := childBoundMax(topo, bound, n)
+		if nb >= bound[n] {
 			break
 		}
-		nn.bound[n] = nb
+		bound[n] = nb
 	}
 }
 

@@ -119,7 +119,11 @@ func (kn *KNN) Reset() {
 	for q := range kn.Heaps {
 		kn.Heaps[q] = kheap{k: kn.K, ns: make([]neighbor, 0, kn.K)}
 	}
-	kn.bound = make([]float64, kn.Query.Topo.Len())
+	// Cleared in place: Spec closures capture the slice, so reallocating
+	// here would leave them tightening a stale array across runs.
+	if kn.bound == nil {
+		kn.bound = make([]float64, kn.Query.Topo.Len())
+	}
 	for k := range kn.bound {
 		kn.bound[k] = math.Inf(1)
 	}
@@ -127,13 +131,18 @@ func (kn *KNN) Reset() {
 }
 
 // Spec assembles the nested-recursion template for this instance.
-func (kn *KNN) Spec() nest.Spec {
+func (kn *KNN) Spec() nest.Spec { return kn.SpecInto(kn.bound, &kn.PairOps) }
+
+// SpecInto is Spec with the pruning-bound array and pairOps cell supplied by
+// the caller; see NN.SpecInto for the parallel-sharding rationale. Heaps
+// stay shared — distinct outer subtrees hold disjoint query points.
+func (kn *KNN) SpecInto(bound []float64, pairOps *int64) nest.Spec {
 	return nest.Spec{
 		Outer:      kn.Query.Topo,
 		Inner:      kn.Ref.Topo,
 		Hereditary: true,
 		TruncInner2: func(o, i tree.NodeID) bool {
-			return kn.Query.MinDist2(o, kn.Ref, i) > kn.bound[o]
+			return kn.Query.MinDist2(o, kn.Ref, i) > bound[o]
 		},
 		Work: func(o, i tree.NodeID) {
 			if !kn.Query.Topo.IsLeaf(o) || !kn.Ref.Topo.IsLeaf(i) {
@@ -141,7 +150,7 @@ func (kn *KNN) Spec() nest.Spec {
 			}
 			qs := kn.Query.NodePoints(o)
 			rs := kn.Ref.NodePoints(i)
-			kn.PairOps += int64(len(qs)) * int64(len(rs))
+			*pairOps += int64(len(qs)) * int64(len(rs))
 			newBound := 0.0
 			for qk, q := range qs {
 				qi := kn.Query.Perm[int(kn.Query.Start[o])+qk]
@@ -157,24 +166,8 @@ func (kn *KNN) Spec() nest.Spec {
 					newBound = kb
 				}
 			}
-			kn.tighten(o, newBound)
+			tighten(kn.Query.Topo, bound, o, newBound)
 		},
-	}
-}
-
-// tighten lowers the leaf's bound and propagates up, as in NN.
-func (kn *KNN) tighten(leaf tree.NodeID, b float64) {
-	topo := kn.Query.Topo
-	if b >= kn.bound[leaf] {
-		return
-	}
-	kn.bound[leaf] = b
-	for n := topo.Parent(leaf); n != tree.Nil; n = topo.Parent(n) {
-		nb := childBoundMax(topo, kn.bound, n)
-		if nb >= kn.bound[n] {
-			break
-		}
-		kn.bound[n] = nb
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"twist/internal/memsim"
 	"twist/internal/nest"
+	"twist/internal/tree"
 	"twist/internal/workloads"
 )
 
@@ -71,17 +72,73 @@ func runWall(in *workloads.Instance, v nest.Variant, repeats int) (time.Duration
 // observe on multi-hour runs (note Fig 9's remark that compulsory misses are
 // only noticeable at the very smallest inputs).
 func missRates(in *workloads.Instance, v nest.Variant) []memsim.LevelStats {
-	h := SimHierarchy()
-	run := func() {
-		in.Reset()
-		s := in.TracedSpec(h.Access)
-		e := nest.MustNew(s)
-		e.Run(v)
+	st, err := missRatesWith(in, v, 1)
+	if err != nil {
+		panic(err) // unreachable: the sequential path cannot fail
 	}
-	run()
+	return st
+}
+
+// missRatesWith is missRates with a worker dimension, built on the memsim
+// streaming pipeline — the simulation holds O(cache geometry + workers·batch)
+// memory regardless of trace length, instead of materializing the trace.
+// With workers <= 1 a single Sink preserves the exact sequential access
+// order, so the stats are bit-identical to the eager flow. With more
+// workers, each worker emits into its own Sink and the Stream interleaves
+// full batches in completion order: the merge mode, modeling the workers
+// sharing one cache hierarchy (the interleaving — like real shared-cache
+// timing — is not deterministic, but every access is simulated exactly once).
+func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsim.LevelStats, error) {
+	h := SimHierarchy()
+	var run func() error
+	if workers <= 1 {
+		st := memsim.NewStream(h, 0)
+		sk := st.Sink()
+		run = func() error {
+			in.Reset()
+			e := nest.MustNew(in.TracedSpec(sk.Emit))
+			e.Run(v)
+			st.Close()
+			return nil
+		}
+	} else {
+		st := memsim.NewStream(h, 0)
+		sinks := make([]*memsim.Sink, workers)
+		for w := range sinks {
+			sinks[w] = st.Sink()
+		}
+		trace := in.Trace
+		run = func() error {
+			in.Reset()
+			e := nest.MustNew(in.Spec)
+			_, err := e.RunWith(nest.RunConfig{
+				Variant:  v,
+				Workers:  workers,
+				Stealing: true,
+				ForTask:  in.ForTask,
+				WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
+					emit := sinks[w].Emit
+					return func(o, i tree.NodeID) {
+						trace(o, i, emit)
+						work(o, i)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			st.Close()
+			return nil
+		}
+	}
+	if err := run(); err != nil { // warmup
+		return nil, err
+	}
 	h.ResetStats()
-	run()
-	return h.Stats()
+	if err := run(); err != nil {
+		return nil, err
+	}
+	return h.Stats(), nil
 }
 
 // --- Fig 5: reuse-distance CDF --------------------------------------------
@@ -118,17 +175,28 @@ func Fig5(n int, seed int64) []Fig5Row {
 
 // --- Fig 7: speedup across the six benchmarks ------------------------------
 
-// Fig7Row is one bar of Fig 7.
+// Fig7Row is one bar of Fig 7, optionally extended with the §7.3 parallel
+// dimension: Par1/ParN time the work-stealing executor running the twisted
+// schedule with one worker and with the requested worker count (zero when
+// the dimension is off), and ParSpeedup is Par1/ParN — scaling of the
+// identical task decomposition, the comparison the paper's §7.3 makes.
 type Fig7Row struct {
-	Bench    string
-	Baseline time.Duration
-	Twisted  time.Duration
-	Speedup  float64
+	Bench      string
+	Baseline   time.Duration
+	Twisted    time.Duration
+	Speedup    float64
+	Par1       time.Duration
+	ParN       time.Duration
+	ParSpeedup float64
 }
 
 // Fig7 measures the wall-clock speedup of recursion twisting over the
-// original schedule for the six benchmarks at the given scale.
-func Fig7(scale int, seed int64, repeats int) ([]Fig7Row, error) {
+// original schedule for the six benchmarks at the given scale. With
+// workers >= 1 it additionally runs the twisted schedule under the
+// work-stealing executor at 1 and at workers workers, verifies every run's
+// checksum against the baseline, and verifies the two parallel runs' merged
+// Stats are identical — the determinism contract of the executor.
+func Fig7(scale int, seed int64, repeats, workers int) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, in := range workloads.Suite(scale, seed) {
 		db, cb := runWall(in, nest.Original(), repeats)
@@ -136,14 +204,50 @@ func Fig7(scale int, seed int64, repeats int) ([]Fig7Row, error) {
 		if cb != ct {
 			return nil, fmt.Errorf("fig7: %s checksum mismatch: baseline %x, twisted %x", in.Name, cb, ct)
 		}
-		rows = append(rows, Fig7Row{
+		row := Fig7Row{
 			Bench:    in.Name,
 			Baseline: db,
 			Twisted:  dt,
 			Speedup:  float64(db) / float64(dt),
-		})
+		}
+		if workers >= 1 {
+			d1, st1, err := parWall(in, 1, cb, repeats)
+			if err != nil {
+				return nil, err
+			}
+			dn, stn := d1, st1
+			if workers > 1 {
+				if dn, stn, err = parWall(in, workers, cb, repeats); err != nil {
+					return nil, err
+				}
+			}
+			if stn != st1 {
+				return nil, fmt.Errorf("fig7: %s merged stats not deterministic across workers:\n  1: %v\n%3d: %v",
+					in.Name, st1, workers, stn)
+			}
+			row.Par1, row.ParN = d1, dn
+			row.ParSpeedup = float64(d1) / float64(dn)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// parWall times the work-stealing twisted run of in at the given worker
+// count, checking its checksum against want, and returns the merged Stats.
+func parWall(in *workloads.Instance, workers int, want uint64, repeats int) (time.Duration, nest.Stats, error) {
+	var res nest.RunResult
+	var err error
+	d := timeBest(repeats, func() {
+		res, err = in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: true})
+	})
+	if err != nil {
+		return 0, nest.Stats{}, err
+	}
+	if got := in.Checksum(); got != want {
+		return 0, nest.Stats{}, fmt.Errorf("fig7: %s parallel (w=%d) checksum %x, want %x", in.Name, workers, got, want)
+	}
+	return d, res.Stats, nil
 }
 
 // GeoMean returns the geometric mean of the speedups (the paper reports a
@@ -195,12 +299,21 @@ type Fig8bRow struct {
 	BaseL2, TwistL2, BaseL3, TwistL3 float64
 }
 
-// Fig8b measures simulated miss rates for the six benchmarks.
-func Fig8b(scale int, seed int64) []Fig8bRow {
+// Fig8b measures simulated miss rates for the six benchmarks. workers <= 1
+// reproduces the paper's sequential figure through the streaming pipeline;
+// workers > 1 simulates the parallel twisted execution in merge mode, with
+// all workers' interleaved accesses sharing the one hierarchy.
+func Fig8b(scale int, seed int64, workers int) ([]Fig8bRow, error) {
 	var rows []Fig8bRow
 	for _, in := range workloads.Suite(scale, seed) {
-		base := missRates(in, nest.Original())
-		tw := missRates(in, nest.Twisted())
+		base, err := missRatesWith(in, nest.Original(), workers)
+		if err != nil {
+			return nil, err
+		}
+		tw, err := missRatesWith(in, nest.Twisted(), workers)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Fig8bRow{
 			Bench:   in.Name,
 			BaseL2:  base[1].MissRate(),
@@ -209,7 +322,7 @@ func Fig8b(scale int, seed int64) []Fig8bRow {
 			TwistL3: tw[2].MissRate(),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // --- Fig 9: PC across input sizes -------------------------------------------

@@ -48,7 +48,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7RunsAndVerifies(t *testing.T) {
-	rows, err := Fig7(256, 3, 1)
+	rows, err := Fig7(256, 3, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

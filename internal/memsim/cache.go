@@ -158,6 +158,15 @@ func (h *Hierarchy) Access(a Addr) {
 	}
 }
 
+// AccessBatch simulates the loads of as in order. It is the consumption
+// side of the streaming trace pipeline (see Stream): batching amortizes the
+// Stream's lock over thousands of accesses.
+func (h *Hierarchy) AccessBatch(as []Addr) {
+	for _, a := range as {
+		h.Access(a)
+	}
+}
+
 // Stats returns the per-level statistics, L1 first.
 func (h *Hierarchy) Stats() []LevelStats {
 	out := make([]LevelStats, len(h.levels))

@@ -1,0 +1,95 @@
+package memsim
+
+import "sync"
+
+// Streaming trace pipeline.
+//
+// The original simulation flow materialized a full []Addr trace before
+// feeding the hierarchy — O(iterations) memory, which at fig8b/fig9 scales
+// dwarfs the caches being modeled. A Stream inverts that: each producer
+// (worker goroutine) owns a Sink, a small ring buffer of addresses, and the
+// hierarchy consumes full batches as they fill. Memory is
+// O(cache geometry + workers·batch), independent of trace length.
+//
+// With a single Sink the simulated access order is exactly the emission
+// order, so sequential results are bit-identical to the eager flow. With
+// several Sinks (one per worker) the Stream becomes the merge mode: batches
+// from different workers interleave in completion order, modeling the
+// workers sharing one cache — the honest analogue of hardware threads on a
+// shared LLC, where the interleaving is likewise timing-dependent.
+
+// DefaultBatch is the default Sink capacity in addresses (32 KiB per sink).
+const DefaultBatch = 4096
+
+// Stream owns a Hierarchy and serializes batched access to it.
+type Stream struct {
+	mu    sync.Mutex
+	h     *Hierarchy
+	batch int
+	sinks []*Sink
+}
+
+// NewStream wraps h. batch <= 0 means DefaultBatch.
+func NewStream(h *Hierarchy, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	return &Stream{h: h, batch: batch}
+}
+
+// Sink registers and returns a new producer buffer. Each concurrent
+// producer must own its own Sink; a Sink itself is not safe for concurrent
+// use.
+func (st *Stream) Sink() *Sink {
+	sk := &Sink{st: st, buf: make([]Addr, st.batch)}
+	st.mu.Lock()
+	st.sinks = append(st.sinks, sk)
+	st.mu.Unlock()
+	return sk
+}
+
+// consume replays one full batch into the hierarchy.
+func (st *Stream) consume(as []Addr) {
+	st.mu.Lock()
+	st.h.AccessBatch(as)
+	st.mu.Unlock()
+}
+
+// Close flushes every registered sink's partial batch. Call it after all
+// producers have stopped emitting; afterwards the hierarchy's Stats cover
+// the complete trace and the sinks may be reused for another run.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	sinks := st.sinks
+	st.mu.Unlock()
+	for _, sk := range sinks {
+		sk.Flush()
+	}
+}
+
+// Sink is one producer's ring buffer of trace addresses.
+type Sink struct {
+	st  *Stream
+	buf []Addr
+	n   int
+}
+
+// Emit appends one address, flushing the batch into the hierarchy when the
+// buffer fills. The hot path is an array store and a counter increment; the
+// Stream lock is only touched once per batch.
+func (sk *Sink) Emit(a Addr) {
+	sk.buf[sk.n] = a
+	sk.n++
+	if sk.n == len(sk.buf) {
+		sk.st.consume(sk.buf)
+		sk.n = 0
+	}
+}
+
+// Flush pushes any partial batch into the hierarchy.
+func (sk *Sink) Flush() {
+	if sk.n > 0 {
+		sk.st.consume(sk.buf[:sk.n])
+		sk.n = 0
+	}
+}

@@ -24,8 +24,12 @@
 package nest
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"twist/internal/tree"
 )
@@ -141,6 +145,14 @@ type Exec struct {
 	// Twisting control for the current run.
 	twist  bool
 	cutoff int32
+
+	// Cancellation state. ctx, when non-nil, is polled at outer-subtree
+	// granularity (every outer-recursion entry, rate-limited); the first
+	// observed ctx.Err() is latched in ctxErr and the recursion unwinds
+	// without further work.
+	ctx     context.Context
+	ctxErr  error
+	ctxPoll uint32
 }
 
 // New returns an Exec for the given spec.
@@ -175,36 +187,66 @@ func (e *Exec) Run(v Variant) {
 	e.RunFrom(v, e.spec.Outer.Root(), e.spec.Inner.Root())
 }
 
+// RunContext is Run with cooperative cancellation: the context is polled at
+// outer-subtree granularity (see canceled), and on cancellation the run
+// unwinds early, leaving the partial operation counts in e.Stats and
+// returning ctx.Err(). A nil ctx behaves exactly like Run.
+func (e *Exec) RunContext(ctx context.Context, v Variant) error {
+	e.ctx = ctx
+	defer func() { e.ctx = nil }()
+	e.Run(v)
+	return e.ctxErr
+}
+
 // RunFrom executes the computation on the sub-space rooted at outer node o
 // and inner node i. It is the building block of the §7.3 parallel execution
 // (twisting applied to an already-spawned task) and of region-restricted
 // reruns; most callers want Run.
 func (e *Exec) RunFrom(v Variant, o, i tree.NodeID) {
 	e.Stats = Stats{}
-	if e.irregular {
-		n := e.spec.Outer.Len()
-		switch e.Flags {
-		case FlagSets:
-			if cap(e.flag) < n {
-				e.flag = make([]bool, n)
-			} else {
-				e.flag = e.flag[:n]
-				for k := range e.flag {
-					e.flag[k] = false
-				}
+	e.prepare()
+	e.runVariant(v, o, i)
+}
+
+// prepare sizes and clears the truncation-flag state (and resets the
+// cancellation latch) without running. Callers that drive the recursion
+// functions directly — the parallel executors, the sequential prefix of
+// RunParallel — invoke it once before their first descent.
+func (e *Exec) prepare() {
+	e.ctxErr = nil
+	e.ctxPoll = 0
+	if !e.irregular {
+		return
+	}
+	n := e.spec.Outer.Len()
+	switch e.Flags {
+	case FlagSets:
+		if cap(e.flag) < n {
+			e.flag = make([]bool, n)
+		} else {
+			e.flag = e.flag[:n]
+			for k := range e.flag {
+				e.flag[k] = false
 			}
-			e.unTrunc = e.unTrunc[:0]
-		case FlagCounter:
-			if cap(e.ctr) < n {
-				e.ctr = make([]int32, n)
-			} else {
-				e.ctr = e.ctr[:n]
-				for k := range e.ctr {
-					e.ctr[k] = 0
-				}
+		}
+		e.unTrunc = e.unTrunc[:0]
+	case FlagCounter:
+		if cap(e.ctr) < n {
+			e.ctr = make([]int32, n)
+		} else {
+			e.ctr = e.ctr[:n]
+			for k := range e.ctr {
+				e.ctr[k] = 0
 			}
 		}
 	}
+}
+
+// runVariant dispatches one schedule on the sub-space rooted at (o, i)
+// without resetting Stats or flag state. It is the executor building block:
+// RunFrom is prepare + runVariant, and the work-stealing executor calls it
+// once per task, accumulating into the worker's Stats.
+func (e *Exec) runVariant(v Variant, o, i tree.NodeID) {
 	switch v.Kind {
 	case KindOriginal:
 		e.twist = false
@@ -221,6 +263,28 @@ func (e *Exec) RunFrom(v Variant, o, i tree.NodeID) {
 	default:
 		panic("nest: unknown schedule variant")
 	}
+}
+
+// canceled polls the run's context at outer-subtree granularity. Polling is
+// rate-limited to one ctx.Err() call per 64 outer entries (the first entry
+// polls immediately) so cancellation support costs nothing measurable on the
+// hot path; once an error is observed it is latched and every subsequent
+// call returns true, unwinding the recursion.
+func (e *Exec) canceled() bool {
+	if e.ctx == nil {
+		return false
+	}
+	if e.ctxErr != nil {
+		return true
+	}
+	e.ctxPoll++
+	if e.ctxPoll&63 == 1 {
+		if err := e.ctx.Err(); err != nil {
+			e.ctxErr = err
+			return true
+		}
+	}
+	return false
 }
 
 // truncO reports whether the outer index o is truncated (absent or rejected
@@ -278,7 +342,7 @@ func (e *Exec) clearFlags(mark int) {
 // tree is still larger than the cutoff — §7.1).
 func (e *Exec) outer(o, i tree.NodeID) {
 	e.Stats.OuterCalls++
-	if e.truncO(o) {
+	if e.truncO(o) || e.canceled() {
 		return
 	}
 	e.inner(o, i)
@@ -335,7 +399,7 @@ func (e *Exec) outerSwapped(o, i tree.NodeID) {
 	if e.truncI(i) {
 		return
 	}
-	if e.truncO(o) {
+	if e.truncO(o) || e.canceled() {
 		return
 	}
 	mark := len(e.unTrunc)
@@ -447,7 +511,8 @@ func TwistedCutoff(cutoff int) Variant {
 	return Variant{Kind: KindTwistedCutoff, Cutoff: int32(cutoff)}
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The output round-trips through
+// ParseVariant.
 func (v Variant) String() string {
 	switch v.Kind {
 	case KindOriginal:
@@ -457,7 +522,43 @@ func (v Variant) String() string {
 	case KindTwisted:
 		return "twisted"
 	case KindTwistedCutoff:
-		return "twisted-cutoff"
+		return fmt.Sprintf("twisted-cutoff:%d", v.Cutoff)
 	}
 	return "unknown"
+}
+
+// ParseVariant parses a schedule name as printed by Variant.String — one of
+// "original", "interchanged", "twisted", "twisted-cutoff" (cutoff 0, i.e.
+// plain twisting with the §7.1 guard site), or "twisted-cutoff:N" for an
+// explicit cutoff. It is the single flag-parsing entry point shared by the
+// command-line tools.
+func ParseVariant(s string) (Variant, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(s), ":")
+	switch name {
+	case "original":
+		if hasArg {
+			return Variant{}, fmt.Errorf("nest: schedule %q takes no argument", s)
+		}
+		return Original(), nil
+	case "interchanged", "interchange":
+		if hasArg {
+			return Variant{}, fmt.Errorf("nest: schedule %q takes no argument", s)
+		}
+		return Interchanged(), nil
+	case "twisted":
+		if hasArg {
+			return Variant{}, fmt.Errorf("nest: schedule %q takes no argument (use twisted-cutoff:N)", s)
+		}
+		return Twisted(), nil
+	case "twisted-cutoff":
+		if !hasArg {
+			return TwistedCutoff(0), nil
+		}
+		c, err := strconv.Atoi(arg)
+		if err != nil || c < 0 || c > math.MaxInt32 {
+			return Variant{}, fmt.Errorf("nest: bad cutoff %q in schedule %q", arg, s)
+		}
+		return TwistedCutoff(c), nil
+	}
+	return Variant{}, fmt.Errorf("nest: unknown schedule %q (want original, interchanged, twisted, or twisted-cutoff[:N])", s)
 }

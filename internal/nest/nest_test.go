@@ -582,7 +582,7 @@ func TestVariantStrings(t *testing.T) {
 		Original():        "original",
 		Interchanged():    "interchanged",
 		Twisted():         "twisted",
-		TwistedCutoff(16): "twisted-cutoff",
+		TwistedCutoff(16): "twisted-cutoff:16",
 	} {
 		if v.String() != want {
 			t.Fatalf("Variant.String() = %q, want %q", v.String(), want)
@@ -590,6 +590,29 @@ func TestVariantStrings(t *testing.T) {
 	}
 	if FlagSets.String() != "sets" || FlagCounter.String() != "counter" {
 		t.Fatal("FlagMode.String mismatch")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(0), TwistedCutoff(64)} {
+		got, err := ParseVariant(v.String())
+		if err != nil {
+			t.Fatalf("ParseVariant(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Fatalf("ParseVariant(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+	if v, err := ParseVariant("twisted-cutoff"); err != nil || v != TwistedCutoff(0) {
+		t.Fatalf("bare twisted-cutoff: %v, %v", v, err)
+	}
+	if v, err := ParseVariant("interchange"); err != nil || v != Interchanged() {
+		t.Fatalf("interchange alias: %v, %v", v, err)
+	}
+	for _, bad := range []string{"", "zigzag", "twisted:4", "twisted-cutoff:x", "twisted-cutoff:-1", "original:0"} {
+		if _, err := ParseVariant(bad); err == nil {
+			t.Fatalf("ParseVariant(%q) accepted", bad)
+		}
 	}
 }
 

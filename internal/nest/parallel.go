@@ -51,7 +51,7 @@ func RunParallel(s Spec, v Variant, spawnDepth, workers int, configure func(*Exe
 		walk(s.Outer.Right(o), depth+1)
 	}
 	prefix.Stats = Stats{}
-	prefix.prepareFlags()
+	prefix.prepare()
 	walk(s.Outer.Root(), 0)
 
 	// Phase 2 (parallel): one task per subtree, each with its own Exec (and
@@ -87,21 +87,4 @@ func newConfigured(s Spec, configure func(*Exec)) *Exec {
 		configure(e)
 	}
 	return e
-}
-
-// prepareFlags sizes and clears the truncation-flag state without running
-// (used by the sequential prefix of RunParallel, which drives the engine's
-// inner recursion directly).
-func (e *Exec) prepareFlags() {
-	if !e.irregular {
-		return
-	}
-	n := e.spec.Outer.Len()
-	switch e.Flags {
-	case FlagSets:
-		e.flag = make([]bool, n)
-		e.unTrunc = e.unTrunc[:0]
-	case FlagCounter:
-		e.ctr = make([]int32, n)
-	}
 }

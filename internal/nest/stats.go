@@ -64,6 +64,24 @@ const (
 	costIteration  = 1
 )
 
+// Add accumulates o into s field-wise. The parallel executors use it to
+// merge per-worker statistics once at the end of a run; every field is a
+// plain sum, so the merge of a deterministic decomposition is itself
+// deterministic regardless of worker count or stealing order.
+func (s *Stats) Add(o Stats) {
+	s.OuterCalls += o.OuterCalls
+	s.InnerCalls += o.InnerCalls
+	s.Iterations += o.Iterations
+	s.Work += o.Work
+	s.TruncChecks += o.TruncChecks
+	s.FlagSets += o.FlagSets
+	s.FlagClears += o.FlagClears
+	s.SizeCompares += o.SizeCompares
+	s.Twists += o.Twists
+	s.SubtreeCuts += o.SubtreeCuts
+	s.ExtraOps += o.ExtraOps
+}
+
 // Ops returns the weighted dynamic operation count — the model standing in
 // for retired instructions in Fig 8(a)/10(a). Comparisons between schedules
 // of the same workload are meaningful; absolute values are model units.

@@ -147,3 +147,51 @@ func Check(reference, got []Pair) error {
 	}
 	return nil
 }
+
+// CheckSharded verifies that the shards — per-worker traces of a parallel
+// run — jointly cover the reference schedule exactly once, and that every
+// column (fixed outer node) lives entirely within one shard with its
+// reference order intact. That is the parallel form of Check's §3.3
+// soundness conditions: a column is one task's work, a task runs on one
+// worker, and within the worker it runs in schedule order.
+func CheckSharded(reference []Pair, shards [][]Pair) error {
+	refCount := make(map[Pair]int, len(reference))
+	for _, p := range reference {
+		refCount[p]++
+	}
+	owner := map[tree.NodeID]int{}
+	for k, shard := range shards {
+		for _, p := range shard {
+			refCount[p]--
+			if prev, ok := owner[p.O]; ok && prev != k {
+				return fmt.Errorf("sched: column %d split across shards %d and %d", p.O, prev, k)
+			}
+			owner[p.O] = k
+		}
+	}
+	for p, c := range refCount {
+		if c != 0 {
+			return fmt.Errorf("sched: iteration (%d,%d) count differs by %d", p.O, p.I, -c)
+		}
+	}
+	refCols := map[tree.NodeID][]tree.NodeID{}
+	for _, p := range reference {
+		refCols[p.O] = append(refCols[p.O], p.I)
+	}
+	for k, shard := range shards {
+		cols := map[tree.NodeID][]tree.NodeID{}
+		for _, p := range shard {
+			cols[p.O] = append(cols[p.O], p.I)
+		}
+		for o, got := range cols {
+			ref := refCols[o]
+			for n := range ref {
+				if got[n] != ref[n] {
+					return fmt.Errorf("sched: shard %d column %d reordered at position %d: %d vs %d",
+						k, o, n, got[n], ref[n])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -152,5 +153,112 @@ func TestRecordPreservesUserWork(t *testing.T) {
 func TestRecordPropagatesSpecError(t *testing.T) {
 	if _, err := Record(nest.Spec{}, nest.Original()); err == nil {
 		t.Fatal("invalid spec accepted")
+	}
+}
+
+// The parallel executors' per-worker traces must jointly be the reference
+// schedule, with every column whole and in order inside one worker — on
+// regular and irregular (outer-dependent truncation) spaces, for all four
+// variants and both executors. Run with -race in CI.
+func TestCheckShardedParallelTraces(t *testing.T) {
+	outer, inner := tree.NewRandomBST(300, 1), tree.NewRandomBST(280, 2)
+	// Hereditary truncation (monotone down both trees), so the executed
+	// iteration set is schedule-independent per the template's semantics.
+	rng := rand.New(rand.NewSource(7))
+	level := make([]float64, outer.Len())
+	for o := range level {
+		level[o] = rng.Float64()
+	}
+	thresh := make([]float64, inner.Len())
+	for i := range thresh {
+		thresh[i] = 1 - 0.6*rng.Float64()
+	}
+	for _, o := range outer.Preorder(nil) {
+		if p := outer.Parent(o); p != tree.Nil && level[o] < level[p] {
+			level[o] = level[p]
+		}
+	}
+	for _, i := range inner.Preorder(nil) {
+		if p := inner.Parent(i); p != tree.Nil && thresh[i] > thresh[p] {
+			thresh[i] = thresh[p]
+		}
+	}
+	specs := map[string]nest.Spec{
+		"regular": {Outer: outer, Inner: inner},
+		"irregular": {
+			Outer:       outer,
+			Inner:       inner,
+			Hereditary:  true,
+			TruncInner2: func(o, i tree.NodeID) bool { return level[o] > thresh[i] },
+		},
+	}
+	variants := []nest.Variant{nest.Original(), nest.Interchanged(), nest.Twisted(), nest.TwistedCutoff(8)}
+	for name, s := range specs {
+		for _, v := range variants {
+			s := s
+			s.Work = func(o, i tree.NodeID) {}
+			ref, err := Record(s, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, stealing := range []bool{false, true} {
+				const workers = 4
+				shards := make([][]Pair, workers)
+				e := nest.MustNew(s)
+				_, err := e.RunWith(nest.RunConfig{
+					Variant:  v,
+					Workers:  workers,
+					Stealing: stealing,
+					WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
+						return func(o, i tree.NodeID) {
+							shards[w] = append(shards[w], Pair{O: o, I: i})
+							work(o, i)
+						}
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckSharded(ref, shards); err != nil {
+					t.Fatalf("%s %v stealing=%v: %v", name, v, stealing, err)
+				}
+			}
+			// A single worker's trace is a full permutation; the sequential
+			// Check must accept it too.
+			one := make([][]Pair, 1)
+			e := nest.MustNew(s)
+			if _, err := e.RunWith(nest.RunConfig{Variant: v, Workers: 1, Stealing: true,
+				WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
+					return func(o, i tree.NodeID) {
+						one[w] = append(one[w], Pair{O: o, I: i})
+						work(o, i)
+					}
+				}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(ref, one[0]); err != nil {
+				t.Fatalf("%s %v single-worker trace: %v", name, v, err)
+			}
+		}
+	}
+}
+
+func TestCheckShardedDetectsViolations(t *testing.T) {
+	ref := []Pair{{O: 0, I: 0}, {O: 0, I: 1}, {O: 1, I: 0}}
+	ok := [][]Pair{{{O: 0, I: 0}, {O: 0, I: 1}}, {{O: 1, I: 0}}}
+	if err := CheckSharded(ref, ok); err != nil {
+		t.Fatalf("valid sharding rejected: %v", err)
+	}
+	split := [][]Pair{{{O: 0, I: 0}}, {{O: 0, I: 1}, {O: 1, I: 0}}}
+	if err := CheckSharded(ref, split); err == nil {
+		t.Fatal("column split across shards accepted")
+	}
+	reordered := [][]Pair{{{O: 0, I: 1}, {O: 0, I: 0}}, {{O: 1, I: 0}}}
+	if err := CheckSharded(ref, reordered); err == nil {
+		t.Fatal("reordered column accepted")
+	}
+	missing := [][]Pair{{{O: 0, I: 0}, {O: 0, I: 1}}}
+	if err := CheckSharded(ref, missing); err == nil {
+		t.Fatal("missing iteration accepted")
 	}
 }

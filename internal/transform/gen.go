@@ -9,6 +9,8 @@ import (
 	"go/printer"
 	"go/token"
 	"strings"
+
+	"twist/internal/nest"
 )
 
 // render pretty-prints an AST node.
@@ -73,7 +75,42 @@ func applyRename(n ast.Node, rename map[string]string) {
 // Fig 6(b). The result is a complete Go source file in the template's
 // package.
 func Generate(t *Template) ([]byte, error) {
-	g := &generator{t: t}
+	return GenerateVariants(t, nil)
+}
+
+// variantSet records which schedule families to emit.
+type variantSet struct {
+	interchanged, twisted, cutoff bool
+}
+
+// GenerateVariants is Generate restricted to the requested schedule
+// families. Variants are matched by kind (a TwistedCutoff's cutoff value is
+// irrelevant — the generated function takes it as a parameter); Original is
+// rejected, since the input template already is that schedule. A nil or
+// empty list selects every family. Helpers a family needs — the swapped
+// inner recursion, and for irregular templates the flag-aware inner
+// recursion — are emitted exactly once regardless of how many families
+// share them.
+func GenerateVariants(t *Template, variants []nest.Variant) ([]byte, error) {
+	var want variantSet
+	if len(variants) == 0 {
+		want = variantSet{interchanged: true, twisted: true, cutoff: true}
+	}
+	for _, v := range variants {
+		switch v.Kind {
+		case nest.KindInterchanged:
+			want.interchanged = true
+		case nest.KindTwisted:
+			want.twisted = true
+		case nest.KindTwistedCutoff:
+			want.cutoff = true
+		case nest.KindOriginal:
+			return nil, fmt.Errorf("transform: %q is the input schedule; nothing to generate", v)
+		default:
+			return nil, fmt.Errorf("transform: unknown variant kind %d", v.Kind)
+		}
+	}
+	g := &generator{t: t, want: want}
 	src, err := g.file()
 	if err != nil {
 		return nil, err
@@ -90,8 +127,9 @@ func Generate(t *Template) ([]byte, error) {
 }
 
 type generator struct {
-	t *Template
-	b bytes.Buffer
+	t    *Template
+	want variantSet
+	b    bytes.Buffer
 }
 
 func (g *generator) pf(format string, args ...any) {
@@ -140,9 +178,26 @@ func (g *generator) file() ([]byte, error) {
 	g.pf(".\n\n")
 	g.pf("package %s\n\n", t.File.Name.Name)
 
-	g.interchange()
-	g.twisted()
-	g.twistedCutoff()
+	// Decl order is fixed — outerSw, innerSw, outerTw, outerTwSw,
+	// innerTw (irregular only), outerCut, outerCutSw — so that the full
+	// set reproduces Generate's historical output byte for byte. The
+	// swapped inner recursion is a helper of every family; the flag-aware
+	// inner recursion serves both twisting families.
+	if g.want.interchanged {
+		g.outerSwapped()
+	}
+	if g.want.interchanged || g.want.twisted || g.want.cutoff {
+		g.innerSwapped()
+	}
+	if g.want.twisted {
+		g.twistedPair()
+	}
+	if t.Irregular() && (g.want.twisted || g.want.cutoff) {
+		g.innerTwisted()
+	}
+	if g.want.cutoff {
+		g.twistedCutoff()
+	}
 	return g.b.Bytes(), nil
 }
 
@@ -198,8 +253,8 @@ func (g *generator) twistedCutoff() {
 	g.pf("}\n")
 }
 
-// interchange emits the swapped pair (Fig 3 / Fig 6b).
-func (g *generator) interchange() {
+// outerSwapped emits the interchanged outer recursion (Fig 3 / Fig 6b).
+func (g *generator) outerSwapped() {
 	t := g.t
 	o, i := t.OName, t.IName
 
@@ -221,6 +276,13 @@ func (g *generator) interchange() {
 		g.pf("\tfor _, n := range unTrunc {\n\t\t%s(n, false)\n\t}\n", t.SetTruncFn)
 	}
 	g.pf("}\n\n")
+}
+
+// innerSwapped emits the interchanged inner recursion, the helper every
+// transformed schedule traverses rows with.
+func (g *generator) innerSwapped() {
+	t := g.t
+	o, i := t.OName, t.IName
 
 	g.pf("// %s is %s under recursion interchange, traversing the\n", g.innerSwName(), g.innerName())
 	g.pf("// outer tree for a fixed inner node.\n")
@@ -253,9 +315,8 @@ func (g *generator) interchange() {
 	g.pf("}\n\n")
 }
 
-// twisted emits the twisting pair (Fig 4a), plus — for irregular templates —
-// a flag-aware variant of the original-orientation inner recursion.
-func (g *generator) twisted() {
+// twistedPair emits the twisting pair (Fig 4a).
+func (g *generator) twistedPair() {
 	t := g.t
 	o, i := t.OName, t.IName
 
@@ -303,10 +364,14 @@ func (g *generator) twisted() {
 		g.pf("\tfor _, n := range unTrunc {\n\t\t%s(n, false)\n\t}\n", t.SetTruncFn)
 	}
 	g.pf("}\n\n")
+}
 
-	if !t.Irregular() {
-		return
-	}
+// innerTwisted emits the flag-aware variant of the original-orientation
+// inner recursion that both twisting families call on irregular templates.
+func (g *generator) innerTwisted() {
+	t := g.t
+	o := t.OName
+
 	g.pf("// %s is %s for use inside the twisted schedule: in the\n", g.innerTwName(), g.innerName())
 	g.pf("// original orientation the truncation flag must be consulted in\n")
 	g.pf("// addition to the truncation condition (§4.1).\n")

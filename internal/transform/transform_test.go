@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"twist/internal/nest"
 )
 
 // parseOK parses a template from source, failing the test on error.
@@ -288,5 +290,71 @@ func TestGeneratedCodeStable(t *testing.T) {
 	}
 	if string(a) != string(b) {
 		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateVariantsSubsets(t *testing.T) {
+	regular := parseOK(t, regularSrc)
+	irregular := parseOK(t, strings.Replace(regularSrc, "if i == nil {", "if i == nil || prune(o, i) {", 1))
+
+	// The full set must be byte-identical to Generate.
+	full, err := Generate(irregular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []nest.Variant{nest.Interchanged(), nest.Twisted(), nest.TwistedCutoff(64)}
+	if got, err := GenerateVariants(irregular, all); err != nil || string(got) != string(full) {
+		t.Fatalf("full variant set differs from Generate (err %v)", err)
+	}
+
+	cases := []struct {
+		name     string
+		tmpl     *Template
+		variants []nest.Variant
+		want     []string
+		absent   []string
+	}{
+		{
+			name:     "interchanged only",
+			tmpl:     regular,
+			variants: []nest.Variant{nest.Interchanged()},
+			want:     []string{"func OuterSwapped(", "func InnerSwapped("},
+			absent:   []string{"func OuterTwisted(", "func OuterTwistedCutoff("},
+		},
+		{
+			name:     "twisted only",
+			tmpl:     regular,
+			variants: []nest.Variant{nest.Twisted()},
+			want:     []string{"func InnerSwapped(", "func OuterTwisted(", "func OuterSwappedTwisted("},
+			absent:   []string{"func OuterSwapped(o", "func OuterTwistedCutoff("},
+		},
+		{
+			name:     "cutoff only, irregular",
+			tmpl:     irregular,
+			variants: []nest.Variant{nest.TwistedCutoff(16)},
+			want:     []string{"func InnerSwapped(", "func InnerTwisted(", "func OuterTwistedCutoff(", "func OuterSwappedTwistedCutoff("},
+			absent:   []string{"func OuterSwapped(o", "func OuterTwisted(o", "func OuterSwappedTwisted(o"},
+		},
+	}
+	for _, c := range cases {
+		out, err := GenerateVariants(c.tmpl, c.variants)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		s := string(out)
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Fatalf("%s: missing %q:\n%s", c.name, w, s)
+			}
+		}
+		for _, a := range c.absent {
+			if strings.Contains(s, a) {
+				t.Fatalf("%s: unexpectedly contains %q:\n%s", c.name, a, s)
+			}
+		}
+	}
+
+	if _, err := GenerateVariants(regular, []nest.Variant{nest.Original()}); err == nil {
+		t.Fatal("original accepted as a generation target")
 	}
 }

@@ -1,0 +1,50 @@
+package workloads
+
+import (
+	"testing"
+
+	"twist/internal/nest"
+)
+
+// Every benchmark must produce its sequential checksum under the parallel
+// executors, and — thanks to ForTask sharding and per-task pruning bounds —
+// merged Stats identical across worker counts (run with -race in CI).
+func TestSuiteParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker suite sweep")
+	}
+	for _, in := range Suite(512, 3) {
+		if in.ForTask == nil {
+			t.Fatalf("%s: no ForTask sharding", in.Name)
+		}
+		want := in.Run(nest.Twisted(), nest.FlagCounter)
+		wantSum := in.Checksum()
+		base, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: 1, Stealing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Checksum(); got != wantSum {
+			t.Fatalf("%s: 1-worker checksum %#x != sequential %#x", in.Name, got, wantSum)
+		}
+		if base.Stats.Work > want.Work*3 {
+			t.Fatalf("%s: decomposed run did %d work vs sequential %d — sharded bounds too loose",
+				in.Name, base.Stats.Work, want.Work)
+		}
+		for _, workers := range []int{2, 4} {
+			for _, stealing := range []bool{false, true} {
+				res, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: stealing})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := in.Checksum(); got != wantSum {
+					t.Fatalf("%s w=%d stealing=%v: checksum %#x != sequential %#x",
+						in.Name, workers, stealing, got, wantSum)
+				}
+				if res.Stats != base.Stats {
+					t.Fatalf("%s w=%d stealing=%v: merged stats differ from 1-worker run:\n got %v\nwant %v",
+						in.Name, workers, stealing, res.Stats, base.Stats)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"twist/internal/dualtree"
 	"twist/internal/geom"
@@ -69,6 +70,15 @@ type Instance struct {
 	// Trace appends the addresses one work(o, i) invocation touches, in
 	// access order (inner structure first, per the paper's examples).
 	Trace func(o, i tree.NodeID, emit func(memsim.Addr))
+
+	// ForTask derives a task-private Spec for the parallel executors (pass
+	// it as nest.RunConfig.ForTask with the unmodified Spec as the base):
+	// scalar reductions go to per-task shards and pruning bounds start
+	// fresh, so each task's behaviour — and hence its Stats — is a pure
+	// function of its outer root, which is what makes merged parallel Stats
+	// identical across worker counts. Checksum and ExtraOps include the
+	// shard contributions; Reset discards them.
+	ForTask func(root tree.NodeID, base nest.Spec) nest.Spec
 }
 
 // TracedSpec returns a copy of the Spec whose Work additionally replays its
@@ -93,6 +103,48 @@ func (in *Instance) Run(v nest.Variant, fm nest.FlagMode) nest.Stats {
 	e.Run(v)
 	e.Stats.ExtraOps = in.ExtraOps()
 	return e.Stats
+}
+
+// RunWith executes the instance under the parallel executor, wiring the
+// instance's ForTask sharding into cfg (unless the caller set its own) and
+// folding ExtraOps into the merged Stats.
+func (in *Instance) RunWith(cfg nest.RunConfig) (nest.RunResult, error) {
+	in.Reset()
+	if cfg.ForTask == nil {
+		cfg.ForTask = in.ForTask
+	}
+	e := nest.MustNew(in.Spec)
+	res, err := e.RunWith(cfg)
+	res.Stats.ExtraOps = in.ExtraOps()
+	return res, err
+}
+
+// shardSet collects the per-task reduction shards a run's ForTask hands out.
+type shardSet[T any] struct {
+	mu   sync.Mutex
+	list []*T
+}
+
+func (s *shardSet[T]) add() *T {
+	t := new(T)
+	s.mu.Lock()
+	s.list = append(s.list, t)
+	s.mu.Unlock()
+	return t
+}
+
+func (s *shardSet[T]) reset() {
+	s.mu.Lock()
+	s.list = nil
+	s.mu.Unlock()
+}
+
+func (s *shardSet[T]) fold(f func(*T)) {
+	s.mu.Lock()
+	for _, t := range s.list {
+		f(t)
+	}
+	s.mu.Unlock()
 }
 
 // mix is a cheap 64-bit hash combiner for checksums.
@@ -121,29 +173,47 @@ func TreeJoin(n int, seed int64) *Instance {
 			valI[k][w] = s
 		}
 	}
-	var sum uint64
-	var works int64
+	type tjCells struct {
+		sum   uint64
+		works int64
+	}
+	var base tjCells
+	var sh shardSet[tjCells]
+	makeSpec := func(c *tjCells) nest.Spec {
+		return nest.Spec{
+			Outer: outer,
+			Inner: inner,
+			Work: func(o, i tree.NodeID) {
+				c.works++
+				vo, vi := &valO[o], &valI[i]
+				for w := 0; w < 8; w++ {
+					c.sum += vo[w] * vi[w]
+				}
+			},
+		}
+	}
 	in := &Instance{
 		Name:        "TJ",
 		Description: fmt.Sprintf("tree join, two %d-node balanced trees", n),
-		Reset:       func() { sum, works = 0, 0 },
-		Checksum:    func() uint64 { return sum },
-		ExtraOps:    func() int64 { return works * 16 },
+		Reset:       func() { base = tjCells{}; sh.reset() },
+		Checksum: func() uint64 {
+			total := base.sum
+			sh.fold(func(c *tjCells) { total += c.sum })
+			return total
+		},
+		ExtraOps: func() int64 {
+			works := base.works
+			sh.fold(func(c *tjCells) { works += c.works })
+			return works * 16
+		},
 		Trace: func(o, i tree.NodeID, emit func(memsim.Addr)) {
 			emit(baseInnerNodes + memsim.Addr(i)*nodeStride)
 			emit(baseOuterNodes + memsim.Addr(o)*nodeStride)
 		},
 	}
-	in.Spec = nest.Spec{
-		Outer: outer,
-		Inner: inner,
-		Work: func(o, i tree.NodeID) {
-			works++
-			vo, vi := &valO[o], &valI[i]
-			for w := 0; w < 8; w++ {
-				sum += vo[w] * vi[w]
-			}
-		},
+	in.Spec = makeSpec(&base)
+	in.ForTask = func(root tree.NodeID, _ nest.Spec) nest.Spec {
+		return makeSpec(sh.add())
 	}
 	return in
 }
@@ -191,12 +261,14 @@ func MatMul(n int, seed int64) *Instance {
 		bt[k] = float64(s%1000) / 1000
 	}
 	var pairs int64
+	var sh shardSet[int64]
 	lineFloats := int32(8) // 64B line holds 8 float64s
 	in := &Instance{
 		Name:        "MM",
 		Description: fmt.Sprintf("recursive matrix multiply, %dx%d", n, n),
 		Reset: func() {
 			pairs = 0
+			sh.reset()
 			for k := range c {
 				c[k] = 0
 			}
@@ -208,7 +280,11 @@ func MatMul(n int, seed int64) *Instance {
 			}
 			return h
 		},
-		ExtraOps: func() int64 { return pairs * int64(n) * 2 },
+		ExtraOps: func() int64 {
+			p := pairs
+			sh.fold(func(n *int64) { p += *n })
+			return p * int64(n) * 2
+		},
 		Trace: func(o, i tree.NodeID, emit func(memsim.Addr)) {
 			r, cl := rowIdx[o], colIdx[i]
 			if r < 0 || cl < 0 {
@@ -224,23 +300,31 @@ func MatMul(n int, seed int64) *Instance {
 			emit(baseMatC + memsim.Addr(r*int32(n)+cl)*8)
 		},
 	}
-	in.Spec = nest.Spec{
-		Outer: outer,
-		Inner: inner,
-		Work: func(o, i tree.NodeID) {
-			r, cl := rowIdx[o], colIdx[i]
-			if r < 0 || cl < 0 {
-				return
-			}
-			pairs++
-			row := a[int(r)*n : int(r+1)*n]
-			col := bt[int(cl)*n : int(cl+1)*n]
-			var dot float64
-			for k := 0; k < n; k++ {
-				dot += row[k] * col[k]
-			}
-			c[int(r)*n+int(cl)] = dot
-		},
+	makeSpec := func(pairs *int64) nest.Spec {
+		return nest.Spec{
+			Outer: outer,
+			Inner: inner,
+			Work: func(o, i tree.NodeID) {
+				r, cl := rowIdx[o], colIdx[i]
+				if r < 0 || cl < 0 {
+					return
+				}
+				*pairs++
+				// C rows are disjoint across outer subtrees, so tasks
+				// never write the same cell.
+				row := a[int(r)*n : int(r+1)*n]
+				col := bt[int(cl)*n : int(cl+1)*n]
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += row[k] * col[k]
+				}
+				c[int(r)*n+int(cl)] = dot
+			},
+		}
+	}
+	in.Spec = makeSpec(&pairs)
+	in.ForTask = func(root tree.NodeID, _ nest.Spec) nest.Spec {
+		return makeSpec(sh.add())
 	}
 	return in
 }
@@ -281,14 +365,28 @@ func PointCorr(n int, radius float64, seed int64) *Instance {
 	pts := geom.Generate(geom.Uniform, n, seed)
 	ix := kdtree.MustBuild(pts, leafSize)
 	pc := dualtree.NewPC(ix, ix, radius)
+	type pcCells struct{ count, pairOps int64 }
+	var sh shardSet[pcCells]
 	return &Instance{
 		Name:        "PC",
 		Description: fmt.Sprintf("dual-tree point correlation, %d points, r=%.3g", n, radius),
 		Spec:        pc.Spec(),
-		Reset:       pc.Reset,
-		Checksum:    func() uint64 { return uint64(pc.Count) },
-		ExtraOps:    func() int64 { return pc.PairOps * 8 },
-		Trace:       dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+		Reset:       func() { pc.Reset(); sh.reset() },
+		Checksum: func() uint64 {
+			count := pc.Count
+			sh.fold(func(c *pcCells) { count += c.count })
+			return uint64(count)
+		},
+		ExtraOps: func() int64 {
+			ops := pc.PairOps
+			sh.fold(func(c *pcCells) { ops += c.pairOps })
+			return ops * 8
+		},
+		Trace: dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+		ForTask: func(root tree.NodeID, _ nest.Spec) nest.Spec {
+			c := sh.add()
+			return pc.SpecInto(&c.count, &c.pairOps)
+		},
 	}
 }
 
@@ -298,11 +396,12 @@ func NearestNeighbor(n int, seed int64) *Instance {
 	q := kdtree.MustBuild(geom.Generate(geom.Uniform, n, seed), leafSize)
 	r := kdtree.MustBuild(geom.Generate(geom.Uniform, n, seed+1), leafSize)
 	nn := dualtree.NewNN(q, r)
+	var sh shardSet[int64]
 	return &Instance{
 		Name:        "NN",
 		Description: fmt.Sprintf("dual-tree nearest neighbor, %d queries in %d refs", n, n),
 		Spec:        nn.Spec(),
-		Reset:       nn.Reset,
+		Reset:       func() { nn.Reset(); sh.reset() },
 		Checksum: func() uint64 {
 			var h uint64 = 14695981039346656037
 			for k := range nn.BestI {
@@ -310,8 +409,18 @@ func NearestNeighbor(n int, seed int64) *Instance {
 			}
 			return h
 		},
-		ExtraOps: func() int64 { return nn.PairOps * 8 },
-		Trace:    dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+		ExtraOps: func() int64 {
+			ops := nn.PairOps
+			sh.fold(func(n *int64) { ops += *n })
+			return ops * 8
+		},
+		Trace: dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+		ForTask: func(root tree.NodeID, _ nest.Spec) nest.Spec {
+			// Fresh infinite bounds per task: pruning becomes a pure
+			// function of the task's subtree (deterministic merged stats),
+			// and conservative pruning cannot change the neighbors found.
+			return nn.SpecInto(dualtree.InfBounds(q.Topo), sh.add())
+		},
 	}
 }
 
@@ -320,14 +429,22 @@ func KNearest(n, k int, seed int64) *Instance {
 	q := kdtree.MustBuild(geom.Generate(geom.Clustered, n, seed), leafSize)
 	r := kdtree.MustBuild(geom.Generate(geom.Clustered, n, seed+1), leafSize)
 	kn := dualtree.NewKNN(q, r, k)
+	var sh shardSet[int64]
 	return &Instance{
 		Name:        "KNN",
 		Description: fmt.Sprintf("dual-tree %d-nearest neighbor, %d points", k, n),
 		Spec:        kn.Spec(),
-		Reset:       kn.Reset,
+		Reset:       func() { kn.Reset(); sh.reset() },
 		Checksum:    func() uint64 { return knnChecksum(kn, n) },
-		ExtraOps:    func() int64 { return kn.PairOps * 8 },
-		Trace:       dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+		ExtraOps: func() int64 {
+			ops := kn.PairOps
+			sh.fold(func(n *int64) { ops += *n })
+			return ops * 8
+		},
+		Trace: dualTraced(q, r, q.Topo, r.Topo, q.Start, r.Start),
+		ForTask: func(root tree.NodeID, _ nest.Spec) nest.Spec {
+			return kn.SpecInto(dualtree.InfBounds(q.Topo), sh.add())
+		},
 	}
 }
 
@@ -336,14 +453,22 @@ func KNearest(n, k int, seed int64) *Instance {
 func VPKNearest(n, k int, seed int64) *Instance {
 	ix := vptree.MustBuild(geom.Generate(geom.Clustered, n, seed), leafSize, seed)
 	kn := dualtree.NewKNN(ix, ix, k)
+	var sh shardSet[int64]
 	return &Instance{
 		Name:        "VP",
 		Description: fmt.Sprintf("vp-tree %d-nearest neighbor self-join, %d points", k, n),
 		Spec:        kn.Spec(),
-		Reset:       kn.Reset,
+		Reset:       func() { kn.Reset(); sh.reset() },
 		Checksum:    func() uint64 { return knnChecksum(kn, n) },
-		ExtraOps:    func() int64 { return kn.PairOps * 8 },
-		Trace:       dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+		ExtraOps: func() int64 {
+			ops := kn.PairOps
+			sh.fold(func(n *int64) { ops += *n })
+			return ops * 8
+		},
+		Trace: dualTraced(ix, ix, ix.Topo, ix.Topo, ix.Start, ix.Start),
+		ForTask: func(root tree.NodeID, _ nest.Spec) nest.Spec {
+			return kn.SpecInto(dualtree.InfBounds(ix.Topo), sh.add())
+		},
 	}
 }
 

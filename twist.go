@@ -96,6 +96,10 @@ const (
 // Variant selects a schedule.
 type Variant = nest.Variant
 
+// ParseVariant parses a Variant from its String form: "original",
+// "interchanged" (or "interchange"), "twisted", "twisted-cutoff[:N]".
+func ParseVariant(name string) (Variant, error) { return nest.ParseVariant(name) }
+
 // New returns an Exec for the given spec.
 func New(s Spec) (*Exec, error) { return nest.New(s) }
 
@@ -115,6 +119,20 @@ func Twisted() Variant { return nest.Twisted() }
 // the tree held by the inner recursion is larger than cutoff.
 func TwistedCutoff(cutoff int) Variant { return nest.TwistedCutoff(cutoff) }
 
+// RunConfig configures a parallel run: the schedule variant, worker count,
+// spawn depth, executor choice (static queue or work stealing), optional
+// context cancellation, and the per-task Spec hooks. See Exec.RunWith.
+type RunConfig = nest.RunConfig
+
+// RunResult reports a parallel run: merged Stats (identical across worker
+// counts and executors for a fixed SpawnDepth), per-worker Stats, and task
+// and steal counts.
+type RunResult = nest.RunResult
+
+// DefaultSpawnDepth is the outer-tree depth at which the parallel executors
+// stop splitting; see nest.DefaultSpawnDepth for why it is a constant.
+const DefaultSpawnDepth = nest.DefaultSpawnDepth
+
 // RunParallel executes the computation with the task-parallel decomposition
 // of paper §7.3: one task per outer subtree at spawnDepth (shallower columns
 // run sequentially first), each task running variant v — typically
@@ -122,6 +140,13 @@ func TwistedCutoff(cutoff int) Variant { return nest.TwistedCutoff(cutoff) }
 // the paper prescribes. Work and the truncation predicates must be safe to
 // call concurrently for distinct outer subtrees. At most workers tasks run
 // at once (0 = unbounded). Per-task statistics are returned in spawn order.
+//
+// Deprecated: use Exec.RunWith with a RunConfig, which runs the same
+// decomposition on the work-stealing executor, merges Stats
+// deterministically, and supports cancellation:
+//
+//	exec := twist.MustNew(spec)
+//	res, err := exec.RunWith(twist.RunConfig{Variant: v, Workers: workers, Stealing: true})
 func RunParallel(s Spec, v Variant, spawnDepth, workers int) ([]Stats, error) {
 	return nest.RunParallel(s, v, spawnDepth, workers, nil)
 }
@@ -144,6 +169,13 @@ func RenderGrid(outer, inner *Topology, pairs []Pair) string {
 // preserves per-column order — the paper's §3.3 soundness conditions for
 // programs whose dependences are carried over the inner recursion.
 func CheckSchedule(reference, got []Pair) error { return sched.Check(reference, got) }
+
+// CheckShardedSchedule is CheckSchedule for the per-worker traces of a
+// parallel run: the shards must jointly cover the reference exactly once,
+// with every column whole and in reference order inside a single shard.
+func CheckShardedSchedule(reference []Pair, shards [][]Pair) error {
+	return sched.CheckSharded(reference, shards)
+}
 
 // LoopNest recasts a doubly-nested for loop as a nested recursive iteration
 // space (the §7.2 front-end), so Twisted() acts as automatic, parameterless
