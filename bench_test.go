@@ -79,7 +79,7 @@ func BenchmarkFig8b(b *testing.B) {
 // size, speedup + miss rates).
 func BenchmarkFig9(b *testing.B) {
 	for k := 0; k < b.N; k++ {
-		if _, err := experiments.Fig9([]int{2048}, 0.4, 42, 1); err != nil {
+		if _, err := experiments.Fig9([]int{2048}, 0.4, 42, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +88,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 regenerates the Fig 10 cutoff study at benchmark scale.
 func BenchmarkFig10(b *testing.B) {
 	for k := 0; k < b.N; k++ {
-		if _, err := experiments.Fig10(2048, 0.4, []int{16, 256}, 42, 1); err != nil {
+		if _, err := experiments.Fig10(2048, 0.4, []int{16, 256}, 42, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,238 +1,483 @@
 // nestbench regenerates the tables and figures of the paper's evaluation
 // (§6, §7.1). Each experiment prints the rows the paper plots; EXPERIMENTS.md
-// records a reference run.
+// records a reference run and names, for every table, the invocation that
+// regenerates it.
 //
 // Usage:
 //
-//	nestbench -exp all                # every experiment at default scales
-//	nestbench -exp fig5 -n 1024       # reuse-distance CDF (Fig 5)
-//	nestbench -exp fig7 -scale 16384  # speedups across the six benchmarks
-//	nestbench -exp fig8a|fig8b        # instruction overhead / miss rates
-//	nestbench -exp fig9               # PC input-size sweep
-//	nestbench -exp fig10              # PC cutoff study
-//	nestbench -exp iters              # §4.2 iteration counts
-//	nestbench -exp inventory          # benchmark inventory (§6.1)
+//	nestbench -exp all                   # every experiment at default scales
+//	nestbench -exp fig5 -n 1024          # reuse-distance CDF (Fig 5)
+//	nestbench -exp fig7 -scale 16384     # speedups across the six benchmarks
+//	nestbench -exp fig8a|fig8b           # instruction overhead / miss rates
+//	nestbench -exp fig9                  # PC input-size sweep
+//	nestbench -exp fig10                 # PC cutoff study
+//	nestbench -exp iters                 # §4.2 iteration counts
+//	nestbench -exp inventory             # benchmark inventory (§6.1)
+//	nestbench -exp bench -variant ...    # suite under one schedule
+//
+// Observability (DESIGN.md §4.7):
+//
+//	nestbench -exp fig7 -json BENCH_fig7.json       # record a baseline
+//	nestbench -exp fig7 -baseline BENCH_fig7.json   # regression-check a fresh
+//	                                                # run against it (exit 1 on
+//	                                                # deterministic mismatch)
+//	nestbench -exp all -json out/                   # one BENCH_<exp>.json per
+//	                                                # experiment into out/
+//	nestbench -exp fig8b -telemetry events.jsonl    # stream counters/timers
+//	nestbench -exp fig7 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Run nestbench -h for the per-experiment flag matrix: each experiment
+// honors only the flags listed for it and silently leaves the rest to their
+// defaults.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"text/tabwriter"
 	"time"
 
 	"twist/internal/experiments"
 	"twist/internal/nest"
+	"twist/internal/obs"
 	"twist/internal/workloads"
 )
 
+// opts carries every flag value an experiment might honor.
+type opts struct {
+	scale   int
+	n       int
+	pcN     int
+	radius  float64
+	seed    int64
+	repeats int
+	workers int
+	variant nest.Variant
+	raw     string // -variant as typed, for params
+}
+
+// experiment is one registered harness. run prints the human-readable table
+// and returns the machine-checkable report (nil when the experiment has no
+// meaningful report, like inventory). flags lists exactly the flags the
+// harness honors — the matrix printed by -h and mirrored in README.md.
+type experiment struct {
+	name  string
+	title string
+	flags string
+	inAll bool
+	run   func(o opts) (*obs.Report, error)
+}
+
+var registry = []experiment{
+	{"inventory", "inventory (§6.1 benchmarks)", "-scale -seed", true, inventory},
+	{"fig5", "fig5: reuse-distance CDF, tree join", "-n -seed", true, fig5},
+	{"fig7", "fig7: speedup of recursion twisting", "-scale -seed -repeats -workers", true, fig7},
+	{"fig8a", "fig8a: instruction overhead (op model)", "-scale -seed", true, fig8a},
+	{"fig8b", "fig8b: simulated L2/L3 miss rates", "-scale -seed -workers", true, fig8b},
+	{"fig9", "fig9: PC across input sizes", "-radius -seed -repeats -workers", true, fig9},
+	{"fig10", "fig10: PC cutoff study (§7.1)", "-pcn -radius -seed -repeats -workers", true, fig10},
+	{"ablation", "ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)", "-pcn -radius -seed -repeats", true, ablation},
+	{"kary", "kary: octree (8-ary) point correlation extension (§2.1 generality)", "-pcn -seed", true, kary},
+	{"iters", "iters: §4.2 iteration counts, PC", "-pcn -radius -seed", true, iters},
+	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant", false, bench},
+}
+
+func usage() {
+	w := os.Stderr
+	fmt.Fprintf(w, "Usage: nestbench [flags]\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(w, "\nExperiments and the flags each honors (all others are ignored):\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  experiment\thonored flags\tnotes")
+	for _, ex := range registry {
+		note := ""
+		switch ex.name {
+		case "fig8b", "fig9":
+			note = "-workers > 1 = merge-mode simulation (nondeterministic; report rates become noisy)"
+		case "fig7":
+			note = "-workers >= 1 adds the §7.3 parallel columns"
+		case "fig10":
+			note = "-workers >= 1 times all schedules under the work-stealing executor"
+		case "bench":
+			note = "not part of -exp all"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", ex.name, ex.flags, note)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nBaselines: -json writes BENCH_<exp>.json (a directory when several experiments\nrun); -baseline re-checks a single experiment against a committed baseline and\nexits 1 on a deterministic mismatch (wall-clock drift warns unless -strict-wall).\n")
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
-		scale   = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
-		n       = flag.Int("n", 1024, "tree size for fig5")
-		pcN     = flag.Int("pcn", 8192, "PC input size for fig10/iters")
-		radius  = flag.Float64("radius", 0.4, "PC correlation radius")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		repeats = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
-		workers = flag.Int("workers", 0, "parallel dimension for fig7/fig8b/bench: run the work-stealing executor with this many workers (0 = off)")
-		variant = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
+		exp        = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
+		scale      = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
+		n          = flag.Int("n", 1024, "tree size for fig5")
+		pcN        = flag.Int("pcn", 8192, "PC input size for fig10/ablation/kary/iters")
+		radius     = flag.Float64("radius", 0.4, "PC correlation radius")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		repeats    = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
+		workers    = flag.Int("workers", 0, "parallel dimension (see -h flag matrix): 0 = off")
+		variant    = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
+		jsonOut    = flag.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
+		baseline   = flag.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
+		wallTol    = flag.Float64("wall-tol", 4, "noisy-signal tolerance band for -baseline (fresh within baseline/tol..baseline*tol)")
+		wallFloor  = flag.Float64("wall-floor", 0.05, "ignore noisy drift below this absolute difference (seconds for wall clocks)")
+		strictWall = flag.Bool("strict-wall", false, "treat wall-clock-only drift as a failure (exit 1), not a warning")
+		telemetry  = flag.String("telemetry", "", "stream telemetry events as JSON lines to this file (\"-\" = stderr)")
+		cpuProf    = flag.String("cpuprofile", "", "capture a pprof CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "capture a pprof heap profile after the run to this file")
 	)
+	flag.Usage = usage
 	flag.Parse()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "nestbench: "+format+"\n", args...)
+		return 2
+	}
 
 	v, err := nest.ParseVariant(*variant)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
-		os.Exit(2)
+		return fail("%v", err)
+	}
+	o := opts{
+		scale: *scale, n: *n, pcN: *pcN, radius: *radius, seed: *seed,
+		repeats: *repeats, workers: *workers, variant: v, raw: *variant,
 	}
 
-	run := func(name string, f func() error) {
-		fmt.Printf("== %s ==\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "nestbench: %s: %v\n", name, err)
-			os.Exit(1)
+	var selected []experiment
+	for _, ex := range registry {
+		if *exp == ex.name || (*exp == "all" && ex.inAll) {
+			selected = append(selected, ex)
+		}
+	}
+	if len(selected) == 0 {
+		return fail("unknown experiment %q", *exp)
+	}
+	if *baseline != "" && len(selected) != 1 {
+		return fail("-baseline needs a single experiment (-exp %s selects %d)", *exp, len(selected))
+	}
+
+	// Telemetry sinks: every experiment aggregates into a fresh Memory
+	// recorder (snapshotted into its report); -telemetry additionally
+	// streams every event as JSON lines.
+	var jsonl *obs.JSONLines
+	if *telemetry != "" {
+		w := os.Stderr
+		if *telemetry != "-" {
+			f, err := os.Create(*telemetry)
+			if err != nil {
+				return fail("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		jsonl = obs.NewJSONLines(w)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
+			}
+		}()
+	}
+
+	exit := 0
+	for _, ex := range selected {
+		mem := obs.NewMemory()
+		if jsonl != nil {
+			experiments.SetRecorder(obs.Tee(mem, jsonl))
+		} else {
+			experiments.SetRecorder(mem)
+		}
+		fmt.Printf("== %s ==\n", ex.title)
+		rep, err := ex.run(o)
+		experiments.SetRecorder(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nestbench: %s: %v\n", ex.name, err)
+			return 1
 		}
 		fmt.Println()
-	}
+		if rep == nil {
+			continue
+		}
+		rep.Telemetry = mem.Counters()
 
-	all := *exp == "all"
-	any := false
-	if all || *exp == "inventory" {
-		any = true
-		run("inventory (§6.1 benchmarks)", func() error { return inventory(*scale, *seed) })
+		if *jsonOut != "" {
+			path := *jsonOut
+			if len(selected) > 1 {
+				if err := os.MkdirAll(path, 0o755); err != nil {
+					return fail("%v", err)
+				}
+				path = filepath.Join(path, "BENCH_"+ex.name+".json")
+			}
+			if err := rep.WriteFile(path); err != nil {
+				return fail("%v", err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+
+		if *baseline != "" {
+			base, err := obs.ReadReport(*baseline)
+			if err != nil {
+				return fail("%v", err)
+			}
+			verdict, diffs := obs.Compare(base, rep, obs.CompareOptions{Tolerance: *wallTol, Floor: *wallFloor})
+			fmt.Printf("baseline check (%s): %v\n", *baseline, verdict)
+			for _, d := range diffs {
+				fmt.Printf("  %s\n", d)
+			}
+			switch verdict {
+			case obs.DetMismatch:
+				exit = 1
+			case obs.WallDrift:
+				if *strictWall {
+					exit = 1
+				} else {
+					fmt.Println("  (wall-clock drift only; pass -strict-wall to fail on this)")
+				}
+			}
+		}
 	}
-	if all || *exp == "fig5" {
-		any = true
-		run("fig5: reuse-distance CDF, tree join", func() error { return fig5(*n, *seed) })
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fail("telemetry: %v", err)
+		}
 	}
-	if all || *exp == "fig7" {
-		any = true
-		run("fig7: speedup of recursion twisting", func() error { return fig7(*scale, *seed, *repeats, *workers) })
-	}
-	if all || *exp == "fig8a" {
-		any = true
-		run("fig8a: instruction overhead (op model)", func() error { return fig8a(*scale, *seed) })
-	}
-	if all || *exp == "fig8b" {
-		any = true
-		run("fig8b: simulated L2/L3 miss rates", func() error { return fig8b(*scale, *seed, *workers) })
-	}
-	if *exp == "bench" {
-		any = true
-		run("bench: suite under one schedule", func() error { return bench(*scale, *seed, *repeats, *workers, v) })
-	}
-	if all || *exp == "fig9" {
-		any = true
-		run("fig9: PC across input sizes", func() error { return fig9(*radius, *seed, *repeats) })
-	}
-	if all || *exp == "fig10" {
-		any = true
-		run("fig10: PC cutoff study (§7.1)", func() error { return fig10(*pcN, *radius, *seed, *repeats) })
-	}
-	if all || *exp == "ablation" {
-		any = true
-		run("ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)",
-			func() error { return ablation(*pcN, *radius, *seed, *repeats) })
-	}
-	if all || *exp == "kary" {
-		any = true
-		run("kary: octree (8-ary) point correlation extension (§2.1 generality)",
-			func() error { return kary(*pcN, *seed) })
-	}
-	if all || *exp == "iters" {
-		any = true
-		run("iters: §4.2 iteration counts, PC", func() error { return iters(*pcN, *radius, *seed) })
-	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "nestbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+	return exit
 }
 
 func table() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 }
 
-func inventory(scale int, seed int64) error {
-	w := table()
-	fmt.Fprintln(w, "bench\tdescription")
-	for _, in := range workloads.Suite(scale, seed) {
-		fmt.Fprintf(w, "%s\t%s\n", in.Name, in.Description)
+// params assembles a report's Params map from the honored flag set.
+func params(o opts, keys ...string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		switch k {
+		case "scale":
+			out[k] = strconv.Itoa(o.scale)
+		case "n":
+			out[k] = strconv.Itoa(o.n)
+		case "pcn":
+			out[k] = strconv.Itoa(o.pcN)
+		case "radius":
+			out[k] = obs.FormatFloat(o.radius)
+		case "seed":
+			out[k] = strconv.FormatInt(o.seed, 10)
+		case "repeats":
+			out[k] = strconv.Itoa(o.repeats)
+		case "workers":
+			out[k] = strconv.Itoa(o.workers)
+		case "variant":
+			out[k] = o.variant.String()
+		default:
+			panic("nestbench: unknown param " + k)
+		}
 	}
-	return w.Flush()
+	return out
 }
 
-func fig5(n int, seed int64) error {
-	rows := experiments.Fig5(n, seed)
+func inventory(o opts) (*obs.Report, error) {
+	w := table()
+	fmt.Fprintln(w, "bench\tdescription")
+	for _, in := range workloads.Suite(o.scale, o.seed) {
+		fmt.Fprintf(w, "%s\t%s\n", in.Name, in.Description)
+	}
+	return nil, w.Flush()
+}
+
+func fig5(o opts) (*obs.Report, error) {
+	rows := experiments.Fig5(o.n, o.seed)
+	rep := obs.NewReport("fig5", params(o, "n", "seed"))
 	w := table()
 	fmt.Fprintln(w, "r\toriginal CDF\ttwisted CDF")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", r.R, r.Original, r.Twisted)
+		rep.AddRow(fmt.Sprintf("r=%d", r.R)).
+			DetFloat("original_cdf", r.Original).
+			DetFloat("twisted_cdf", r.Twisted)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func fig7(scale int, seed int64, repeats, workers int) error {
-	rows, err := experiments.Fig7(scale, seed, repeats, workers)
+func fig7(o opts) (*obs.Report, error) {
+	rows, err := experiments.Fig7(o.scale, o.seed, o.repeats, o.workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := obs.NewReport("fig7", params(o, "scale", "seed", "repeats", "workers"))
 	w := table()
-	if workers >= 1 {
-		fmt.Fprintf(w, "bench\tbaseline\ttwisted\tspeedup\tpar w=1\tpar w=%d\tpar speedup\n", workers)
-		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%v\t%v\t%.2fx\n",
-				r.Bench, r.Baseline, r.Twisted, r.Speedup, r.Par1, r.ParN, r.ParSpeedup)
-		}
+	if o.workers >= 1 {
+		fmt.Fprintf(w, "bench\tbaseline\ttwisted\tspeedup\tpar w=1\tpar w=%d\tpar speedup\n", o.workers)
 	} else {
 		fmt.Fprintln(w, "bench\tbaseline\ttwisted\tspeedup")
-		for _, r := range rows {
+	}
+	for _, r := range rows {
+		row := rep.AddRow(r.Bench).
+			DetUint("checksum", r.Checksum).
+			NoisySeconds("baseline", r.Baseline).
+			NoisySeconds("twisted", r.Twisted).
+			NoisyVal("speedup", r.Speedup)
+		if o.workers >= 1 {
+			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%v\t%v\t%.2fx\n",
+				r.Bench, r.Baseline, r.Twisted, r.Speedup, r.Par1, r.ParN, r.ParSpeedup)
+			row.NoisySeconds("par1", r.Par1).
+				NoisySeconds("parN", r.ParN).
+				NoisyVal("par_speedup", r.ParSpeedup)
+		} else {
 			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", r.Bench, r.Baseline, r.Twisted, r.Speedup)
 		}
 	}
-	fmt.Fprintf(w, "geomean\t\t\t%.2fx\n", experiments.GeoMean(rows))
-	return w.Flush()
+	geo := experiments.GeoMean(rows)
+	fmt.Fprintf(w, "geomean\t\t\t%.2fx\n", geo)
+	rep.AddRow("geomean").NoisyVal("speedup", geo)
+	return rep, w.Flush()
 }
 
-func bench(scale int, seed int64, repeats, workers int, v nest.Variant) error {
+func bench(o opts) (*obs.Report, error) {
+	repeats := o.repeats
 	if repeats < 1 {
 		repeats = 1
 	}
+	rep := obs.NewReport("bench", params(o, "scale", "seed", "repeats", "workers", "variant"))
 	w := table()
 	fmt.Fprintln(w, "bench\tschedule\twall\titerations\twork\tchecksum")
-	for _, in := range workloads.Suite(scale, seed) {
+	for _, in := range workloads.Suite(o.scale, o.seed) {
 		var st nest.Stats
 		var best time.Duration
 		mode := "seq"
 		for k := 0; k < repeats; k++ {
 			start := time.Now()
-			if workers >= 1 {
-				res, err := in.RunWith(nest.RunConfig{Variant: v, Workers: workers, Stealing: true})
+			if o.workers >= 1 {
+				res, err := in.RunWith(nest.RunConfig{Variant: o.variant, Workers: o.workers, Stealing: true})
 				if err != nil {
-					return err
+					return nil, err
 				}
 				if k > 0 && res.Stats != st {
-					return fmt.Errorf("bench: %s merged stats not deterministic across runs", in.Name)
+					return nil, fmt.Errorf("bench: %s merged stats not deterministic across runs", in.Name)
 				}
 				st = res.Stats
-				mode = fmt.Sprintf("w=%d", workers)
+				mode = fmt.Sprintf("w=%d", o.workers)
 			} else {
-				st = in.Run(v, nest.FlagCounter)
+				st = in.Run(o.variant, nest.FlagCounter)
 			}
 			if wall := time.Since(start); k == 0 || wall < best {
 				best = wall
 			}
 		}
-		fmt.Fprintf(w, "%s\t%v (%s)\t%v\t%d\t%d\t%#x\n", in.Name, v, mode, best, st.Iterations, st.Work, in.Checksum())
+		fmt.Fprintf(w, "%s\t%v (%s)\t%v\t%d\t%d\t%#x\n",
+			in.Name, o.variant, mode, best, st.Iterations, st.Work, in.Checksum())
+		rep.AddRow(in.Name).
+			DetInt("iterations", st.Iterations).
+			DetInt("work", st.Work).
+			DetUint("checksum", in.Checksum()).
+			NoisySeconds("wall", best)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func fig8a(scale int, seed int64) error {
-	rows := experiments.Fig8a(scale, seed)
+func fig8a(o opts) (*obs.Report, error) {
+	rows := experiments.Fig8a(o.scale, o.seed)
+	rep := obs.NewReport("fig8a", params(o, "scale", "seed"))
 	w := table()
 	fmt.Fprintln(w, "bench\tbaseline ops\ttwisted ops\toverhead")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%+.1f%%\n", r.Bench, r.BaselineOps, r.TwistedOps, 100*r.Overhead)
+		rep.AddRow(r.Bench).
+			DetInt("baseline_ops", r.BaselineOps).
+			DetInt("twisted_ops", r.TwistedOps).
+			DetFloat("overhead", r.Overhead)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func fig8b(scale int, seed int64, workers int) error {
-	rows, err := experiments.Fig8b(scale, seed, workers)
+func fig8b(o opts) (*obs.Report, error) {
+	rows, err := experiments.Fig8b(o.scale, o.seed, o.workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := obs.NewReport("fig8b", params(o, "scale", "seed", "workers"))
+	det := o.workers <= 1 // merge-mode interleaving is nondeterministic
 	w := table()
 	fmt.Fprintln(w, "bench\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
 			r.Bench, 100*r.BaseL2, 100*r.TwistL2, 100*r.BaseL3, 100*r.TwistL3)
+		row := rep.AddRow(r.Bench)
+		rateSignal(row, det, "l2_base", r.BaseL2)
+		rateSignal(row, det, "l2_twisted", r.TwistL2)
+		rateSignal(row, det, "l3_base", r.BaseL3)
+		rateSignal(row, det, "l3_twisted", r.TwistL3)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func fig9(radius float64, seed int64, repeats int) error {
+func fig9(o opts) (*obs.Report, error) {
 	sizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768}
-	rows, err := experiments.Fig9(sizes, radius, seed, repeats)
+	rows, err := experiments.Fig9(sizes, o.radius, o.seed, o.repeats, o.workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	rep := obs.NewReport("fig9", params(o, "radius", "seed", "repeats", "workers"))
+	det := o.workers <= 1
 	w := table()
 	fmt.Fprintln(w, "n\tspeedup\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%d\t%.2fx\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
 			r.N, r.Speedup, 100*r.BaseL2, 100*r.TwistL2, 100*r.BaseL3, 100*r.TwistL3)
+		row := rep.AddRow(fmt.Sprintf("n=%d", r.N)).NoisyVal("speedup", r.Speedup)
+		rateSignal(row, det, "l2_base", r.BaseL2)
+		rateSignal(row, det, "l2_twisted", r.TwistL2)
+		rateSignal(row, det, "l3_base", r.BaseL3)
+		rateSignal(row, det, "l3_twisted", r.TwistL3)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func fig10(n int, radius float64, seed int64, repeats int) error {
-	cutoffs := []int{16, 64, 256, 1024, 4096}
-	rows, err := experiments.Fig10(n, radius, cutoffs, seed, repeats)
-	if err != nil {
-		return err
+// rateSignal files a simulated miss rate as deterministic (single-sink
+// streaming order) or noisy (merge mode, workers > 1).
+func rateSignal(row *obs.Row, det bool, name string, v float64) {
+	if det {
+		row.DetFloat(name, v)
+	} else {
+		row.NoisyVal(name, v)
 	}
+}
+
+func fig10(o opts) (*obs.Report, error) {
+	cutoffs := []int{16, 64, 256, 1024, 4096}
+	rows, err := experiments.Fig10(o.pcN, o.radius, cutoffs, o.seed, o.repeats, o.workers)
+	if err != nil {
+		return nil, err
+	}
+	rep := obs.NewReport("fig10", params(o, "pcn", "radius", "seed", "repeats", "workers"))
 	w := table()
 	fmt.Fprintln(w, "cutoff\tinstr overhead\tspeedup")
 	for _, r := range rows {
@@ -241,44 +486,74 @@ func fig10(n int, radius float64, seed int64, repeats int) error {
 			name = "parameterless"
 		}
 		fmt.Fprintf(w, "%s\t%+.1f%%\t%.2fx\n", name, 100*r.Overhead, r.Speedup)
+		rep.AddRow("cutoff="+name).
+			DetFloat("overhead", r.Overhead).
+			NoisyVal("speedup", r.Speedup)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func iters(n int, radius float64, seed int64) error {
-	rows := experiments.TblIters(n, radius, seed)
+func iters(o opts) (*obs.Report, error) {
+	rows := experiments.TblIters(o.pcN, o.radius, o.seed)
+	rep := obs.NewReport("iters", params(o, "pcn", "radius", "seed"))
 	w := table()
 	fmt.Fprintln(w, "schedule\titerations\twork\toverhead vs original")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%+.1f%%\n", r.Schedule, r.Iterations, r.Work, 100*r.Overhead)
+		rep.AddRow(r.Schedule).
+			DetInt("iterations", r.Iterations).
+			DetInt("work", r.Work).
+			DetFloat("overhead", r.Overhead)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func ablation(n int, radius float64, seed int64, repeats int) error {
+func ablation(o opts) (*obs.Report, error) {
+	rep := obs.NewReport("ablation", params(o, "pcn", "radius", "seed", "repeats"))
 	w := table()
 	fmt.Fprintln(w, "flag mode\tflag sets\tflag clears\tmodel ops\twall")
-	for _, r := range experiments.AblationFlags(n, radius, seed, repeats) {
+	for _, r := range experiments.AblationFlags(o.pcN, o.radius, o.seed, o.repeats) {
 		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%v\n", r.Mode, r.FlagSets, r.FlagClears, r.Ops, r.Wall)
+		rep.AddRow(fmt.Sprintf("flags/%v", r.Mode)).
+			DetInt("flag_sets", r.FlagSets).
+			DetInt("flag_clears", r.FlagClears).
+			DetInt("ops", r.Ops).
+			NoisySeconds("wall", r.Wall)
 	}
 	fmt.Fprintln(w, "\nsubtree truncation\titerations\tcuts\twall")
-	for _, r := range experiments.AblationSubtree(n, radius, seed, repeats) {
+	for _, r := range experiments.AblationSubtree(o.pcN, o.radius, o.seed, o.repeats) {
 		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Enabled, r.Iterations, r.SubtreeCuts, r.Wall)
+		rep.AddRow(fmt.Sprintf("subtree/%v", r.Enabled)).
+			DetInt("iterations", r.Iterations).
+			DetInt("subtree_cuts", r.SubtreeCuts).
+			NoisySeconds("wall", r.Wall)
 	}
 	fmt.Fprintln(w, "\nnode stride\tL3 base\tL3 twisted\tL3 base misses\tL3 twisted misses")
-	for _, r := range experiments.AblationStride(n, []int{64, 32, 16}, seed) {
+	for _, r := range experiments.AblationStride(o.pcN, []int{64, 32, 16}, o.seed) {
 		fmt.Fprintf(w, "%dB\t%.1f%%\t%.1f%%\t%d\t%d\n",
 			r.Stride, 100*r.BaseL3, 100*r.TwistL3, r.BaseL3Misses, r.TwistL3Misses)
+		rep.AddRow(fmt.Sprintf("stride/%dB", r.Stride)).
+			DetFloat("l3_base", r.BaseL3).
+			DetFloat("l3_twisted", r.TwistL3).
+			DetInt("l3_base_misses", r.BaseL3Misses).
+			DetInt("l3_twisted_misses", r.TwistL3Misses)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }
 
-func kary(n int, seed int64) error {
+func kary(o opts) (*obs.Report, error) {
+	rep := obs.NewReport("kary", params(o, "pcn", "seed"))
 	w := table()
 	fmt.Fprintln(w, "schedule\tpairs<=r\titerations\ttwists\tL2\tL3")
-	for _, r := range experiments.KAryOctree(n, 0.3, seed) {
+	for _, r := range experiments.KAryOctree(o.pcN, 0.3, o.seed) {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
 			r.Schedule, r.Count, r.Iterations, r.Twists, 100*r.L2, 100*r.L3)
+		rep.AddRow(r.Schedule).
+			DetInt("pairs", r.Count).
+			DetInt("iterations", r.Iterations).
+			DetInt("twists", r.Twists).
+			DetFloat("l2", r.L2).
+			DetFloat("l3", r.L3)
 	}
-	return w.Flush()
+	return rep, w.Flush()
 }

@@ -1,0 +1,180 @@
+// Package doclint is a test-only lint: it fails the build's test step when a
+// package loses its godoc package comment, or when one of the
+// contract-bearing packages (obs, nest, memsim, sched) exports an
+// undocumented identifier. CI runs it as the doc-comment gate next to
+// go vet.
+package doclint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// strict lists the packages whose exported API must be fully documented:
+// they carry the cross-package contracts (Recorder, RunConfig, Stream/Sink,
+// schedule recording) that the rest of the repo programs against.
+var strict = map[string]bool{
+	"internal/obs":    true,
+	"internal/nest":   true,
+	"internal/memsim": true,
+	"internal/sched":  true,
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestEveryPackageHasDocComment parses every non-test source directory under
+// the module and requires at least one file to carry a package comment.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	root := repoRoot(t)
+	dirs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir, files := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		documented := false
+		for _, f := range files {
+			file, err := parser.ParseFile(token.NewFileSet(), f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package doc comment in any of its files", rel)
+		}
+	}
+}
+
+// TestStrictPackagesDocumentExports requires a doc comment on every exported
+// top-level declaration of the strict packages.
+func TestStrictPackagesDocumentExports(t *testing.T) {
+	root := repoRoot(t)
+	for rel := range strict {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkFileExports(t, filepath.Join(rel, name), file)
+		}
+	}
+}
+
+func checkFileExports(t *testing.T, path string, file *ast.File) {
+	t.Helper()
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+				t.Errorf("%s: exported func %s has no doc comment", path, funcName(d))
+			}
+		case *ast.GenDecl:
+			// A documented group (e.g. a const block with one comment)
+			// covers its members.
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+						t.Errorf("%s: exported type %s has no doc comment", path, s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							t.Errorf("%s: exported %s %s has no doc comment", path, d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether d is a plain function or a method whose
+// receiver type is itself exported — methods on unexported types are not
+// part of the package's godoc surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	rt := d.Recv.List[0].Type
+	if st, ok := rt.(*ast.StarExpr); ok {
+		rt = st.X
+	}
+	if idx, ok := rt.(*ast.IndexExpr); ok { // generic receiver T[P]
+		rt = idx.X
+	}
+	id, ok := rt.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	var b strings.Builder
+	switch rt := d.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := rt.X.(*ast.Ident); ok {
+			b.WriteString("(*" + id.Name + ").")
+		}
+	case *ast.Ident:
+		b.WriteString(rt.Name + ".")
+	}
+	b.WriteString(d.Name.Name)
+	return b.String()
+}

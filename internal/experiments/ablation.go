@@ -5,6 +5,7 @@ import (
 
 	"twist/internal/memsim"
 	"twist/internal/nest"
+	"twist/internal/obs"
 	"twist/internal/tree"
 	"twist/internal/workloads"
 )
@@ -28,6 +29,7 @@ type FlagAblationRow struct {
 // claim made concrete: the counter mode performs zero flag-clear operations
 // and correspondingly fewer model ops.
 func AblationFlags(n int, radius float64, seed int64, repeats int) []FlagAblationRow {
+	defer obs.Span(rec, "experiments.ablation.flags")()
 	in := workloads.PointCorr(n, radius, seed)
 	var rows []FlagAblationRow
 	for _, fm := range []nest.FlagMode{nest.FlagSets, nest.FlagCounter} {
@@ -59,6 +61,7 @@ type SubtreeAblationRow struct {
 
 // AblationSubtree runs twisted PC with subtree truncation off and on.
 func AblationSubtree(n int, radius float64, seed int64, repeats int) []SubtreeAblationRow {
+	defer obs.Span(rec, "experiments.ablation.subtree")()
 	in := workloads.PointCorr(n, radius, seed)
 	var rows []SubtreeAblationRow
 	for _, on := range []bool{false, true} {
@@ -92,6 +95,7 @@ type StrideAblationRow struct {
 // AblationStride runs the n-node tree join through the simulated hierarchy
 // at several node strides.
 func AblationStride(n int, strides []int, seed int64) []StrideAblationRow {
+	defer obs.Span(rec, "experiments.ablation.stride")()
 	outer := tree.NewBalanced(n)
 	inner := tree.NewBalanced(n)
 	var rows []StrideAblationRow

@@ -18,9 +18,25 @@ import (
 
 	"twist/internal/memsim"
 	"twist/internal/nest"
+	"twist/internal/obs"
 	"twist/internal/tree"
 	"twist/internal/workloads"
 )
+
+// rec receives all experiment telemetry; it is never nil.
+var rec obs.Recorder = obs.Nop()
+
+// SetRecorder routes experiment telemetry — per-figure phase wall clocks,
+// executor counters from parallel runs, and per-level simulated-cache
+// hit/miss/eviction counts — into r (nil restores the discarding default).
+// Call it before running experiments; it must not be called concurrently
+// with one.
+func SetRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Nop()
+	}
+	rec = r
+}
 
 // SimHierarchy returns the scaled cache hierarchy used for all simulated
 // miss-rate experiments: 2K/8-way L1, 16K/8-way L2, 128K/16-way L3. The
@@ -90,9 +106,9 @@ func missRates(in *workloads.Instance, v nest.Variant) []memsim.LevelStats {
 // timing — is not deterministic, but every access is simulated exactly once).
 func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsim.LevelStats, error) {
 	h := SimHierarchy()
+	st := memsim.NewStream(h, 0)
 	var run func() error
 	if workers <= 1 {
-		st := memsim.NewStream(h, 0)
 		sk := st.Sink()
 		run = func() error {
 			in.Reset()
@@ -102,7 +118,6 @@ func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsi
 			return nil
 		}
 	} else {
-		st := memsim.NewStream(h, 0)
 		sinks := make([]*memsim.Sink, workers)
 		for w := range sinks {
 			sinks[w] = st.Sink()
@@ -115,6 +130,7 @@ func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsi
 				Variant:  v,
 				Workers:  workers,
 				Stealing: true,
+				Recorder: rec,
 				ForTask:  in.ForTask,
 				WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
 					emit := sinks[w].Emit
@@ -138,6 +154,8 @@ func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsi
 	if err := run(); err != nil {
 		return nil, err
 	}
+	h.Publish(rec, fmt.Sprintf("memsim.%s.%v", in.Name, v))
+	st.Publish(rec, fmt.Sprintf("memsim.%s.%v.stream", in.Name, v))
 	return h.Stats(), nil
 }
 
@@ -154,6 +172,7 @@ type Fig5Row struct {
 // Fig 1(a) on two n-node trees (the paper uses n=1024), measuring the stack
 // distance of every node access under the original and twisted schedules.
 func Fig5(n int, seed int64) []Fig5Row {
+	defer obs.Span(rec, "experiments.fig5")()
 	collect := func(v nest.Variant) *memsim.Histogram {
 		in := workloads.TreeJoin(n, seed)
 		ra := memsim.NewReuseAnalyzer()
@@ -188,6 +207,11 @@ type Fig7Row struct {
 	Par1       time.Duration
 	ParN       time.Duration
 	ParSpeedup float64
+
+	// Checksum is the benchmark result checksum, identical across every
+	// schedule and worker count — the row's deterministic signal in the
+	// BENCH_fig7.json regression baseline.
+	Checksum uint64
 }
 
 // Fig7 measures the wall-clock speedup of recursion twisting over the
@@ -197,6 +221,7 @@ type Fig7Row struct {
 // checksum against the baseline, and verifies the two parallel runs' merged
 // Stats are identical — the determinism contract of the executor.
 func Fig7(scale int, seed int64, repeats, workers int) ([]Fig7Row, error) {
+	defer obs.Span(rec, "experiments.fig7")()
 	var rows []Fig7Row
 	for _, in := range workloads.Suite(scale, seed) {
 		db, cb := runWall(in, nest.Original(), repeats)
@@ -204,11 +229,14 @@ func Fig7(scale int, seed int64, repeats, workers int) ([]Fig7Row, error) {
 		if cb != ct {
 			return nil, fmt.Errorf("fig7: %s checksum mismatch: baseline %x, twisted %x", in.Name, cb, ct)
 		}
+		rec.Time("fig7."+in.Name+".baseline", db)
+		rec.Time("fig7."+in.Name+".twisted", dt)
 		row := Fig7Row{
 			Bench:    in.Name,
 			Baseline: db,
 			Twisted:  dt,
 			Speedup:  float64(db) / float64(dt),
+			Checksum: cb,
 		}
 		if workers >= 1 {
 			d1, st1, err := parWall(in, 1, cb, repeats)
@@ -239,7 +267,7 @@ func parWall(in *workloads.Instance, workers int, want uint64, repeats int) (tim
 	var res nest.RunResult
 	var err error
 	d := timeBest(repeats, func() {
-		res, err = in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: true})
+		res, err = in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: true, Recorder: rec})
 	})
 	if err != nil {
 		return 0, nest.Stats{}, err
@@ -276,6 +304,7 @@ type Fig8aRow struct {
 
 // Fig8a measures instruction overhead for the six benchmarks.
 func Fig8a(scale int, seed int64) []Fig8aRow {
+	defer obs.Span(rec, "experiments.fig8a")()
 	var rows []Fig8aRow
 	for _, in := range workloads.Suite(scale, seed) {
 		base := in.Run(nest.Original(), nest.FlagCounter)
@@ -304,6 +333,7 @@ type Fig8bRow struct {
 // workers > 1 simulates the parallel twisted execution in merge mode, with
 // all workers' interleaved accesses sharing the one hierarchy.
 func Fig8b(scale int, seed int64, workers int) ([]Fig8bRow, error) {
+	defer obs.Span(rec, "experiments.fig8b")()
 	var rows []Fig8bRow
 	for _, in := range workloads.Suite(scale, seed) {
 		base, err := missRatesWith(in, nest.Original(), workers)
@@ -335,8 +365,13 @@ type Fig9Row struct {
 }
 
 // Fig9 sweeps point-correlation input sizes (log-spaced, as in the paper's
-// log-scale x axis) and reports wall-clock speedup plus simulated miss rates.
-func Fig9(sizes []int, radius float64, seed int64, repeats int) ([]Fig9Row, error) {
+// log-scale x axis) and reports wall-clock speedup plus simulated miss
+// rates. workers has the same meaning as in Fig8b — the miss-rate columns
+// come from the streaming simulation, sequential single-sink for
+// workers <= 1 (deterministic), merge mode otherwise; the wall-clock
+// speedup column is always the sequential paper comparison.
+func Fig9(sizes []int, radius float64, seed int64, repeats, workers int) ([]Fig9Row, error) {
+	defer obs.Span(rec, "experiments.fig9")()
 	var rows []Fig9Row
 	for _, n := range sizes {
 		in := workloads.PointCorr(n, radius, seed)
@@ -345,8 +380,14 @@ func Fig9(sizes []int, radius float64, seed int64, repeats int) ([]Fig9Row, erro
 		if cb != ct {
 			return nil, fmt.Errorf("fig9: n=%d checksum mismatch", n)
 		}
-		base := missRates(in, nest.Original())
-		tw := missRates(in, nest.Twisted())
+		base, err := missRatesWith(in, nest.Original(), workers)
+		if err != nil {
+			return nil, err
+		}
+		tw, err := missRatesWith(in, nest.Twisted(), workers)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Fig9Row{
 			N:       n,
 			Speedup: float64(db) / float64(dt),
@@ -372,10 +413,15 @@ type Fig10Row struct {
 // Fig10 reproduces the cutoff study on PC: instruction overhead and speedup
 // for a range of cutoff parameters, with parameterless twisting (cutoff -1)
 // for comparison. The paper notes it uses a smaller PC input than Fig 7.
-func Fig10(n int, radius float64, cutoffs []int, seed int64, repeats int) ([]Fig10Row, error) {
+// With workers >= 1 every wall-clock measurement (baseline and all cutoff
+// variants alike) runs under the work-stealing executor at that worker
+// count, so the speedup column compares like with like; the instruction
+// overheads always come from sequential counted runs.
+func Fig10(n int, radius float64, cutoffs []int, seed int64, repeats, workers int) ([]Fig10Row, error) {
+	defer obs.Span(rec, "experiments.fig10")()
 	in := workloads.PointCorr(n, radius, seed)
 	base := in.Run(nest.Original(), nest.FlagCounter)
-	dbase, cb, err := wallOf(in, nest.Original(), repeats)
+	dbase, cb, err := wallOf(in, nest.Original(), repeats, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +432,7 @@ func Fig10(n int, radius float64, cutoffs []int, seed int64, repeats int) ([]Fig
 	var rows []Fig10Row
 	for k, v := range variants {
 		st := in.Run(v, nest.FlagCounter)
-		d, c, err := wallOf(in, v, repeats)
+		d, c, err := wallOf(in, v, repeats, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -406,9 +452,24 @@ func Fig10(n int, radius float64, cutoffs []int, seed int64, repeats int) ([]Fig
 	return rows, nil
 }
 
-func wallOf(in *workloads.Instance, v nest.Variant, repeats int) (time.Duration, uint64, error) {
-	d, c := runWall(in, v, repeats)
-	return d, c, nil
+// wallOf times variant v of in — sequentially, or under the work-stealing
+// executor when workers >= 1 — and returns (duration, checksum).
+func wallOf(in *workloads.Instance, v nest.Variant, repeats, workers int) (time.Duration, uint64, error) {
+	if workers < 1 {
+		d, c := runWall(in, v, repeats)
+		return d, c, nil
+	}
+	var err error
+	d := timeBest(repeats, func() {
+		if err != nil {
+			return
+		}
+		_, err = in.RunWith(nest.RunConfig{Variant: v, Workers: workers, Stealing: true, Recorder: rec})
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, in.Checksum(), nil
 }
 
 // --- §4.2 iteration counts ----------------------------------------------------
@@ -424,6 +485,7 @@ type ItersRow struct {
 // TblIters reproduces the §4.2 iteration-count comparison on PC: original,
 // interchange, twisting, and twisting with subtree truncation.
 func TblIters(n int, radius float64, seed int64) []ItersRow {
+	defer obs.Span(rec, "experiments.iters")()
 	in := workloads.PointCorr(n, radius, seed)
 	run := func(v nest.Variant, subtree bool) nest.Stats {
 		in.Reset()

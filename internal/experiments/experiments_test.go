@@ -115,7 +115,7 @@ func TestFig8bNNRegime(t *testing.T) {
 }
 
 func TestFig9ShapeAcrossSizes(t *testing.T) {
-	rows, err := Fig9([]int{256, 8192}, 0.4, 9, 1)
+	rows, err := Fig9([]int{256, 8192}, 0.4, 9, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestFig9ShapeAcrossSizes(t *testing.T) {
 }
 
 func TestFig10CutoffRows(t *testing.T) {
-	rows, err := Fig10(2048, 0.03, []int{16, 256}, 11, 1)
+	rows, err := Fig10(2048, 0.03, []int{16, 256}, 11, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"twist/internal/geom"
 	"twist/internal/knest"
 	"twist/internal/memsim"
+	"twist/internal/obs"
 )
 
 // KAryRow is one schedule of the k-ary (octree) extension study: dual-tree
@@ -21,6 +22,7 @@ type KAryRow struct {
 // KAryOctree runs octree point correlation under each schedule, reporting
 // iteration counts and simulated miss rates.
 func KAryOctree(n int, radius float64, seed int64) []KAryRow {
+	defer obs.Span(rec, "experiments.kary")()
 	pts := geom.Generate(geom.Uniform, n, seed)
 	oc := knest.MustBuildOctree(pts, 8)
 

@@ -3,6 +3,8 @@ package memsim
 import (
 	"fmt"
 	"math/bits"
+
+	"twist/internal/obs"
 )
 
 // CacheConfig describes one cache level.
@@ -37,11 +39,15 @@ func (c CacheConfig) validate() error {
 	return nil
 }
 
-// LevelStats is the per-level outcome of a simulation.
+// LevelStats is the per-level outcome of a simulation. Accesses - Misses is
+// the hit count; Evictions counts misses that displaced a resident line
+// (capacity/conflict replacement), so Misses - Evictions is the number of
+// cold installs into empty ways.
 type LevelStats struct {
-	Name     string
-	Accesses int64
-	Misses   int64
+	Name      string
+	Accesses  int64
+	Misses    int64
+	Evictions int64
 }
 
 // MissRate returns Misses/Accesses (0 for an untouched level). This is the
@@ -62,9 +68,10 @@ type level struct {
 	ways      int
 	// tags[set*ways : (set+1)*ways] ordered most- to least-recently used;
 	// zero means empty (tag 0 is reserved by biasing real tags by +1).
-	tags     []uint64
-	accesses int64
-	misses   int64
+	tags      []uint64
+	accesses  int64
+	misses    int64
+	evictions int64
 }
 
 func newLevel(c CacheConfig) *level {
@@ -93,6 +100,9 @@ func (l *level) access(line uint64) bool {
 		}
 	}
 	l.misses++
+	if ws[l.ways-1] != 0 {
+		l.evictions++
+	}
 	copy(ws[1:], ws[:l.ways-1])
 	ws[0] = tag
 	return false
@@ -171,7 +181,7 @@ func (h *Hierarchy) AccessBatch(as []Addr) {
 func (h *Hierarchy) Stats() []LevelStats {
 	out := make([]LevelStats, len(h.levels))
 	for k, l := range h.levels {
-		out[k] = LevelStats{Name: l.name, Accesses: l.accesses, Misses: l.misses}
+		out[k] = LevelStats{Name: l.name, Accesses: l.accesses, Misses: l.misses, Evictions: l.evictions}
 	}
 	return out
 }
@@ -182,7 +192,7 @@ func (h *Hierarchy) Reset() {
 		for k := range l.tags {
 			l.tags[k] = 0
 		}
-		l.accesses, l.misses = 0, 0
+		l.accesses, l.misses, l.evictions = 0, 0, 0
 	}
 }
 
@@ -192,7 +202,24 @@ func (h *Hierarchy) Reset() {
 // a long-running program.
 func (h *Hierarchy) ResetStats() {
 	for _, l := range h.levels {
-		l.accesses, l.misses = 0, 0
+		l.accesses, l.misses, l.evictions = 0, 0, 0
+	}
+}
+
+// Publish emits the hierarchy's per-level counters into r under
+// prefix.<level>.{accesses,hits,misses,evictions} — the memsim half of the
+// observability layer (internal/obs). Call it after a simulation completes;
+// like Stats, it reads the counters without clearing them.
+func (h *Hierarchy) Publish(r obs.Recorder, prefix string) {
+	if r == nil {
+		return
+	}
+	for _, l := range h.levels {
+		p := prefix + "." + l.name
+		r.Count(p+".accesses", l.accesses)
+		r.Count(p+".hits", l.accesses-l.misses)
+		r.Count(p+".misses", l.misses)
+		r.Count(p+".evictions", l.evictions)
 	}
 }
 

@@ -7,6 +7,24 @@
 // address per tree-node access, produced by a Mapper from the arena node
 // index, so the simulated behaviour is a pure function of the schedule — the
 // quantity the paper's transformations change.
+//
+// # Streaming traces
+//
+// Long traces are fed through the Stream/Sink pipeline rather than
+// materialized: each producer goroutine owns one Sink (a fixed ring buffer
+// whose Emit is an array store — a Sink is NOT safe for concurrent use) and
+// the Stream serializes full batches into its Hierarchy, so memory stays
+// O(cache geometry + sinks·batch) regardless of trace length. The ordering
+// contract is the foundation of the regression gate (DESIGN.md §4.7): with
+// exactly one Sink the simulated access order is the emission order and the
+// resulting LevelStats are bit-identical to calling Hierarchy.Access
+// directly; with several Sinks batches interleave in completion order
+// (merge mode), which simulates every access exactly once but is not
+// deterministic. Call Stream.Close after all producers stop to flush
+// partial batches; only then do the Hierarchy's Stats cover the full trace.
+//
+// Telemetry: Hierarchy.Publish and Stream.Publish export per-level
+// hit/miss/eviction counters and pipeline counters into an obs.Recorder.
 package memsim
 
 // Addr is an abstract memory address (byte-granular).

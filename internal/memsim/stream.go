@@ -1,6 +1,10 @@
 package memsim
 
-import "sync"
+import (
+	"sync"
+
+	"twist/internal/obs"
+)
 
 // Streaming trace pipeline.
 //
@@ -23,10 +27,12 @@ const DefaultBatch = 4096
 
 // Stream owns a Hierarchy and serializes batched access to it.
 type Stream struct {
-	mu    sync.Mutex
-	h     *Hierarchy
-	batch int
-	sinks []*Sink
+	mu      sync.Mutex
+	h       *Hierarchy
+	batch   int
+	sinks   []*Sink
+	batches int64
+	emitted int64
 }
 
 // NewStream wraps h. batch <= 0 means DefaultBatch.
@@ -52,7 +58,26 @@ func (st *Stream) Sink() *Sink {
 func (st *Stream) consume(as []Addr) {
 	st.mu.Lock()
 	st.h.AccessBatch(as)
+	st.batches++
+	st.emitted += int64(len(as))
 	st.mu.Unlock()
+}
+
+// Publish emits the stream's pipeline counters into r under
+// prefix.{batches,addresses,sinks}: how many batch flushes the hierarchy
+// consumed, how many addresses flowed through in total, and how many
+// producer sinks are registered. Counters accumulate across runs until the
+// Stream is discarded.
+func (st *Stream) Publish(r obs.Recorder, prefix string) {
+	if r == nil {
+		return
+	}
+	st.mu.Lock()
+	batches, emitted, sinks := st.batches, st.emitted, int64(len(st.sinks))
+	st.mu.Unlock()
+	r.Count(prefix+".batches", batches)
+	r.Count(prefix+".addresses", emitted)
+	r.Count(prefix+".sinks", sinks)
 }
 
 // Close flushes every registered sink's partial batch. Call it after all

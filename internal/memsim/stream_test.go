@@ -19,7 +19,7 @@ func TestStreamMatchesDirectAccess(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	trace := make([]Addr, 100_000)
 	for k := range trace {
-		trace[k] = Addr(rng.Intn(1 << 14) * 64)
+		trace[k] = Addr(rng.Intn(1<<14) * 64)
 	}
 	direct := smallHierarchy()
 	for _, a := range trace {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"twist/internal/obs"
 	"twist/internal/tree"
 )
 
@@ -61,6 +62,13 @@ type RunConfig struct {
 	// about to run it (after ForTask). The memsim streaming pipeline uses
 	// it to route each worker's node accesses into that worker's TraceSink.
 	WrapWork func(worker int, work func(o, i tree.NodeID)) func(o, i tree.NodeID)
+
+	// Recorder, when non-nil, receives the run's telemetry: the wall clock
+	// of the whole run ("nest.run"), the executor counters ("nest.tasks",
+	// "nest.steals", "nest.workers") and the merged operation counts
+	// ("nest.iterations", "nest.subtree_cuts", ... — see Stats.Record).
+	// It must be safe for concurrent use; nil records nothing.
+	Recorder obs.Recorder
 }
 
 // RunResult reports a parallel run.
@@ -111,6 +119,7 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 	if depth > math.MaxInt32 {
 		return RunResult{}, fmt.Errorf("nest: spawn depth %d out of range", depth)
 	}
+	done := obs.Span(cfg.Recorder, "nest.run")
 	var res RunResult
 	var err error
 	if cfg.Stealing {
@@ -119,6 +128,13 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 		res, err = e.runStatic(cfg, workers, depth)
 	}
 	e.Stats = res.Stats
+	done()
+	if cfg.Recorder != nil {
+		cfg.Recorder.Count("nest.tasks", res.Tasks)
+		cfg.Recorder.Count("nest.steals", res.Steals)
+		cfg.Recorder.Count("nest.workers", int64(res.Workers))
+		res.Stats.Record(cfg.Recorder, "nest")
+	}
 	return res, err
 }
 

@@ -21,6 +21,33 @@
 // *inner recursion* are roles that twisting exchanges. Throughout this
 // package, the variable o is always a node of the outer tree and i is always
 // a node of the inner tree, regardless of the current orientation.
+//
+// # Parallel runs and the RunConfig contract
+//
+// Exec.Run executes sequentially; Exec.RunWith executes the §7.3 parallel
+// decomposition under a RunConfig. The contract callers rely on:
+//
+//   - The task decomposition is a pure function of the Spec and
+//     RunConfig.SpawnDepth — never of Workers, Stealing, or runtime
+//     scheduling — so the merged RunResult.Stats (and RunResult.Tasks) are
+//     byte-identical across worker counts and across both executors. This
+//     determinism is what the observability layer's exact-match regression
+//     gating builds on (DESIGN.md §4.7).
+//
+//   - Soundness needs the §3.3 criterion (outer recursions independent),
+//     and Spec.Work plus the truncation predicates must tolerate concurrent
+//     calls for distinct outer nodes. Iterations of one outer column never
+//     run concurrently.
+//
+//   - Workloads with mutable per-run state supply RunConfig.ForTask to give
+//     each task private shards (reductions, pruning bounds), making task
+//     behaviour a pure function of its outer root; RunConfig.WrapWork
+//     routes per-worker side channels (e.g. memsim trace sinks); and
+//     RunConfig.Recorder receives executor telemetry (tasks, steals, merged
+//     operation counts) — see internal/obs.
+//
+//   - RunConfig.Ctx cancels cooperatively; the first observed error is
+//     returned alongside the partial merged Stats.
 package nest
 
 import (
@@ -478,6 +505,9 @@ func (e *Exec) innerSwapped(o, i tree.NodeID) bool {
 // VariantKind enumerates the schedules the engine can run.
 type VariantKind int
 
+// The four schedules of the paper: the untransformed baseline (§2), full
+// interchange (§3), recursion twisting (§4), and twisting with the §7.1
+// size cutoff.
 const (
 	KindOriginal VariantKind = iota
 	KindInterchanged

@@ -1,6 +1,10 @@
 package nest
 
-import "fmt"
+import (
+	"fmt"
+
+	"twist/internal/obs"
+)
 
 // Stats counts the dynamic operations a schedule performed. It is the
 // instruction-count model that stands in for the paper's hardware instruction
@@ -80,6 +84,30 @@ func (s *Stats) Add(o Stats) {
 	s.Twists += o.Twists
 	s.SubtreeCuts += o.SubtreeCuts
 	s.ExtraOps += o.ExtraOps
+}
+
+// Record publishes every field of s as a counter into r under
+// prefix.{outer_calls,inner_calls,iterations,work,trunc_checks,flag_sets,
+// flag_clears,size_compares,twists,subtree_cuts,extra_ops,ops} — the nest
+// half of the observability layer (internal/obs). The truncation-machinery
+// counters (trunc_checks, flag_sets, subtree_cuts) are the "truncation
+// hits" telemetry the schedules differ most on.
+func (s Stats) Record(r obs.Recorder, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Count(prefix+".outer_calls", s.OuterCalls)
+	r.Count(prefix+".inner_calls", s.InnerCalls)
+	r.Count(prefix+".iterations", s.Iterations)
+	r.Count(prefix+".work", s.Work)
+	r.Count(prefix+".trunc_checks", s.TruncChecks)
+	r.Count(prefix+".flag_sets", s.FlagSets)
+	r.Count(prefix+".flag_clears", s.FlagClears)
+	r.Count(prefix+".size_compares", s.SizeCompares)
+	r.Count(prefix+".twists", s.Twists)
+	r.Count(prefix+".subtree_cuts", s.SubtreeCuts)
+	r.Count(prefix+".extra_ops", s.ExtraOps)
+	r.Count(prefix+".ops", s.Ops())
 }
 
 // Ops returns the weighted dynamic operation count — the model standing in

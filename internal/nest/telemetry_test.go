@@ -1,0 +1,75 @@
+package nest
+
+import (
+	"testing"
+
+	"twist/internal/obs"
+	"twist/internal/tree"
+)
+
+// TestRunWithRecorder checks that a parallel run publishes its executor
+// counters and merged operation counts into RunConfig.Recorder, and that
+// the counter values agree with the returned RunResult.
+func TestRunWithRecorder(t *testing.T) {
+	outer := tree.NewPerfect(7)
+	inner := tree.NewPerfect(7)
+	spec := Spec{Outer: outer, Inner: inner, Work: func(o, i tree.NodeID) {}}
+
+	for _, stealing := range []bool{false, true} {
+		m := obs.NewMemory()
+		e := MustNew(spec)
+		res, err := e.RunWith(RunConfig{
+			Variant: Twisted(), Workers: 2, Stealing: stealing, Recorder: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Counter("nest.tasks"); got != res.Tasks {
+			t.Fatalf("stealing=%v: nest.tasks counter %d, RunResult.Tasks %d", stealing, got, res.Tasks)
+		}
+		if got := m.Counter("nest.steals"); got != res.Steals {
+			t.Fatalf("stealing=%v: nest.steals counter %d, RunResult.Steals %d", stealing, got, res.Steals)
+		}
+		if got := m.Counter("nest.iterations"); got != res.Stats.Iterations {
+			t.Fatalf("stealing=%v: nest.iterations counter %d, merged %d", stealing, got, res.Stats.Iterations)
+		}
+		if got := m.Counter("nest.work"); got != res.Stats.Work {
+			t.Fatalf("stealing=%v: nest.work counter %d, merged %d", stealing, got, res.Stats.Work)
+		}
+		if _, ok := m.Timings()["nest.run"]; !ok {
+			t.Fatalf("stealing=%v: nest.run span missing (names: %v)", stealing, m.Names())
+		}
+	}
+
+	// A nil Recorder (the zero RunConfig) must keep working.
+	e := MustNew(spec)
+	if _, err := e.RunWith(RunConfig{Variant: Twisted(), Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsRecordCoversEveryField(t *testing.T) {
+	s := Stats{
+		OuterCalls: 1, InnerCalls: 2, Iterations: 3, Work: 4, TruncChecks: 5,
+		FlagSets: 6, FlagClears: 7, SizeCompares: 8, Twists: 9, SubtreeCuts: 10,
+		ExtraOps: 11,
+	}
+	m := obs.NewMemory()
+	s.Record(m, "nest")
+	want := map[string]int64{
+		"nest.outer_calls": 1, "nest.inner_calls": 2, "nest.iterations": 3,
+		"nest.work": 4, "nest.trunc_checks": 5, "nest.flag_sets": 6,
+		"nest.flag_clears": 7, "nest.size_compares": 8, "nest.twists": 9,
+		"nest.subtree_cuts": 10, "nest.extra_ops": 11, "nest.ops": s.Ops(),
+	}
+	got := m.Counters()
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("counter %s = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d counters, want %d: %v", len(got), len(want), got)
+	}
+	s.Record(nil, "nest") // must not panic
+}

@@ -1,0 +1,239 @@
+// Package obs is the observability layer of the reproduction: structured
+// counters and phase timers for every subsystem, and the versioned JSON
+// benchmark reports that make experiment results machine-checkable.
+//
+// Two halves:
+//
+//   - Recorder (this file) is the telemetry sink. Subsystems publish named
+//     counters (tasks spawned, steals, truncation hits, per-level cache
+//     hits/misses/evictions) and named wall-clock spans into whatever
+//     Recorder the caller supplies: Nop discards, Memory aggregates for
+//     tests and in-process inspection, JSONLines streams one event per line
+//     for offline analysis. internal/nest publishes through
+//     nest.RunConfig.Recorder, internal/memsim through Hierarchy.Publish,
+//     and internal/experiments through experiments.SetRecorder.
+//
+//   - Report (report.go) is the benchmark artifact. Every cmd/nestbench
+//     figure harness can emit a BENCH_<exp>.json report (host info, flags,
+//     per-row signals) and re-check a fresh run against a committed
+//     baseline, with deterministic signals compared exactly and noisy
+//     signals within a tolerance band (DESIGN.md §4.7).
+//
+// All Recorder implementations are safe for concurrent use; counter and
+// timer names are flat dotted strings ("nest.steals", "memsim.L3.misses").
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder receives telemetry. Count accumulates a named monotonic counter;
+// Time records one wall-clock sample of a named span or phase.
+// Implementations must be safe for concurrent use: the work-stealing
+// executor and the streaming cache simulation publish from worker
+// goroutines.
+type Recorder interface {
+	Count(name string, delta int64)
+	Time(name string, d time.Duration)
+}
+
+// Span starts timing a phase and returns the function that stops the clock
+// and records the elapsed time under name:
+//
+//	defer obs.Span(rec, "experiments.fig7")()
+//
+// A nil Recorder is accepted and records nothing.
+func Span(r Recorder, name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { r.Time(name, time.Since(t0)) }
+}
+
+// nop discards everything.
+type nop struct{}
+
+func (nop) Count(string, int64)        {}
+func (nop) Time(string, time.Duration) {}
+
+// Nop returns the Recorder that discards all telemetry. It is the default
+// everywhere a Recorder is optional, so instrumented code paths never need
+// a nil check beyond their entry point.
+func Nop() Recorder { return nop{} }
+
+// tee fans every event out to several recorders.
+type tee []Recorder
+
+func (t tee) Count(name string, delta int64) {
+	for _, r := range t {
+		r.Count(name, delta)
+	}
+}
+
+func (t tee) Time(name string, d time.Duration) {
+	for _, r := range t {
+		r.Time(name, d)
+	}
+}
+
+// Tee returns a Recorder that forwards every event to all of rs (nil
+// entries are skipped). cmd/nestbench uses it to aggregate an experiment's
+// counters in memory for the BENCH report while also streaming them as
+// JSON lines.
+func Tee(rs ...Recorder) Recorder {
+	var out tee
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// Memory aggregates telemetry in process: counters sum their deltas, timers
+// keep both the sample count and the total duration per name. The zero
+// value is ready to use.
+type Memory struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timeSum  map[string]time.Duration
+	timeN    map[string]int64
+}
+
+// NewMemory returns an empty in-memory recorder.
+func NewMemory() *Memory { return &Memory{} }
+
+// Count implements Recorder.
+func (m *Memory) Count(name string, delta int64) {
+	m.mu.Lock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Time implements Recorder.
+func (m *Memory) Time(name string, d time.Duration) {
+	m.mu.Lock()
+	if m.timeSum == nil {
+		m.timeSum = make(map[string]time.Duration)
+		m.timeN = make(map[string]int64)
+	}
+	m.timeSum[name] += d
+	m.timeN[name]++
+	m.mu.Unlock()
+}
+
+// Counters returns a copy of the counter totals.
+func (m *Memory) Counters() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Counter returns one counter's total (0 if never recorded).
+func (m *Memory) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Timings returns a copy of the per-name total durations.
+func (m *Memory) Timings() map[string]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]time.Duration, len(m.timeSum))
+	for k, v := range m.timeSum {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns every counter and timer name recorded so far, sorted.
+func (m *Memory) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.counters)+len(m.timeSum))
+	for k := range m.counters {
+		names = append(names, k)
+	}
+	for k := range m.timeSum {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Event is one JSON-lines telemetry record. Kind is "count" or "time";
+// Total is the running sum for the name (counter deltas or span seconds),
+// so a truncated stream still carries absolute values.
+type Event struct {
+	Seq     int64   `json:"seq"`
+	Kind    string  `json:"kind"`
+	Name    string  `json:"name"`
+	Delta   int64   `json:"delta,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Total   float64 `json:"total"`
+}
+
+// JSONLines streams every telemetry event as one JSON object per line,
+// suitable for `jq` and for replaying an experiment's counter evolution.
+// Writes are serialized; encoding errors are sticky and reported by Err.
+type JSONLines struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	seq    int64
+	totals map[string]float64
+	err    error
+}
+
+// NewJSONLines wraps w. The caller owns w's lifetime (close it after the
+// last event).
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{enc: json.NewEncoder(w), totals: make(map[string]float64)}
+}
+
+// Count implements Recorder.
+func (j *JSONLines) Count(name string, delta int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.totals[name] += float64(delta)
+	j.emit(Event{Seq: j.seq, Kind: "count", Name: name, Delta: delta, Total: j.totals[name]})
+}
+
+// Time implements Recorder.
+func (j *JSONLines) Time(name string, d time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	s := d.Seconds()
+	j.totals[name] += s
+	j.emit(Event{Seq: j.seq, Kind: "time", Name: name, Seconds: s, Total: j.totals[name]})
+}
+
+func (j *JSONLines) emit(e Event) {
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (j *JSONLines) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

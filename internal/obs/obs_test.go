@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryRecorder(t *testing.T) {
+	m := NewMemory()
+	m.Count("nest.tasks", 3)
+	m.Count("nest.tasks", 4)
+	m.Time("phase", 2*time.Second)
+	m.Time("phase", time.Second)
+	if got := m.Counter("nest.tasks"); got != 7 {
+		t.Fatalf("Counter = %d, want 7", got)
+	}
+	if got := m.Timings()["phase"]; got != 3*time.Second {
+		t.Fatalf("Timings[phase] = %v, want 3s", got)
+	}
+	if got := m.Names(); len(got) != 2 || got[0] != "nest.tasks" || got[1] != "phase" {
+		t.Fatalf("Names = %v", got)
+	}
+	if got := m.Counter("never"); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+}
+
+func TestMemoryRecorderConcurrent(t *testing.T) {
+	m := NewMemory()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				m.Count("c", 1)
+				m.Time("t", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c"); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestJSONLinesEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLines(&buf)
+	j.Count("memsim.L3.misses", 10)
+	j.Count("memsim.L3.misses", 5)
+	j.Time("run", 250*time.Millisecond)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[1].Kind != "count" || events[1].Total != 15 {
+		t.Fatalf("second event = %+v, want running total 15", events[1])
+	}
+	if events[2].Kind != "time" || events[2].Seconds != 0.25 {
+		t.Fatalf("time event = %+v", events[2])
+	}
+	for k, e := range events {
+		if e.Seq != int64(k+1) {
+			t.Fatalf("event %d has seq %d", k, e.Seq)
+		}
+	}
+}
+
+func TestSpanAndNop(t *testing.T) {
+	m := NewMemory()
+	done := Span(m, "phase")
+	done()
+	if _, ok := m.Timings()["phase"]; !ok {
+		t.Fatal("Span did not record")
+	}
+	Span(nil, "x")() // must not panic
+	Nop().Count("x", 1)
+	Nop().Time("x", time.Second)
+}

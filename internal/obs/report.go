@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_<exp>.json layout. Bump it on any
+// field change that breaks Compare; the checker refuses to diff reports
+// across schema versions.
+const SchemaVersion = 1
+
+// Report is one experiment run in machine-checkable form: the artifact
+// behind the BENCH_<exp>.json baselines and the `-baseline` regression gate
+// (DESIGN.md §4.7).
+//
+// Every row splits its signals into two classes:
+//
+//   - Det: deterministic signals — miss counts and rates from the
+//     single-sink simulator, reuse-distance CDFs, operation and iteration
+//     counts, result checksums. These are pure functions of (seed, flags)
+//     and must reproduce bit-identically; the checker compares them
+//     exactly, as formatted strings.
+//
+//   - Noisy: host- and timing-dependent signals — wall clocks in seconds,
+//     wall-clock speedup ratios, and merge-mode (workers > 1) simulation
+//     results whose interleaving is timing-dependent. The checker compares
+//     them within a tolerance band.
+type Report struct {
+	Schema     int               `json:"schema"`
+	Experiment string            `json:"experiment"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	Host       string            `json:"host,omitempty"`
+	CreatedAt  string            `json:"created_at,omitempty"`
+	Params     map[string]string `json:"params"`
+	Rows       []Row             `json:"rows"`
+	Telemetry  map[string]int64  `json:"telemetry,omitempty"`
+}
+
+// Row is one table row of an experiment (one benchmark, one input size, one
+// cutoff, ...). Map values are formatted with FormatInt/FormatUint/
+// FormatFloat so exact string equality is exact value equality.
+type Row struct {
+	Name  string             `json:"name"`
+	Det   map[string]string  `json:"det,omitempty"`
+	Noisy map[string]float64 `json:"noisy,omitempty"`
+}
+
+// NewReport returns a report stamped with the host environment. Params
+// should hold exactly the flags the experiment honors (the -h flag matrix),
+// formatted as strings; the checker treats a params mismatch as a
+// configuration error.
+func NewReport(experiment string, params map[string]string) *Report {
+	host, _ := os.Hostname()
+	return &Report{
+		Schema:     SchemaVersion,
+		Experiment: experiment,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Host:       host,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Params:     params,
+	}
+}
+
+// AddRow appends a row and returns a pointer to it for Det*/Noisy calls.
+func (r *Report) AddRow(name string) *Row {
+	r.Rows = append(r.Rows, Row{Name: name})
+	return &r.Rows[len(r.Rows)-1]
+}
+
+// DetInt records a deterministic integer signal.
+func (w *Row) DetInt(name string, v int64) *Row { return w.det(name, FormatInt(v)) }
+
+// DetUint records a deterministic unsigned signal (checksums, hex-formatted).
+func (w *Row) DetUint(name string, v uint64) *Row { return w.det(name, FormatUint(v)) }
+
+// DetFloat records a deterministic float signal with full precision.
+func (w *Row) DetFloat(name string, v float64) *Row { return w.det(name, FormatFloat(v)) }
+
+// DetString records a deterministic string signal.
+func (w *Row) DetString(name, v string) *Row { return w.det(name, v) }
+
+func (w *Row) det(name, v string) *Row {
+	if w.Det == nil {
+		w.Det = make(map[string]string)
+	}
+	w.Det[name] = v
+	return w
+}
+
+// NoisyVal records a tolerance-band signal (dimensionless, e.g. a speedup
+// ratio or a merge-mode miss rate).
+func (w *Row) NoisyVal(name string, v float64) *Row {
+	if w.Noisy == nil {
+		w.Noisy = make(map[string]float64)
+	}
+	w.Noisy[name] = v
+	return w
+}
+
+// NoisySeconds records a wall-clock duration in seconds.
+func (w *Row) NoisySeconds(name string, d time.Duration) *Row {
+	return w.NoisyVal(name, d.Seconds())
+}
+
+// FormatInt formats a deterministic integer signal.
+func FormatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// FormatUint formats a deterministic unsigned signal as hex (the repo's
+// checksum convention).
+func FormatUint(v uint64) string { return "0x" + strconv.FormatUint(v, 16) }
+
+// FormatFloat formats a deterministic float with the shortest
+// representation that round-trips, so string equality is float64 equality.
+func FormatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteFile writes the report as indented JSON with a trailing newline
+// (stable formatting keeps committed baselines diff-friendly).
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport parses a report file and validates its schema version.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this binary speaks %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Verdict classifies a baseline comparison. Ordering matters: a
+// deterministic mismatch dominates wall-clock drift.
+type Verdict int
+
+const (
+	// Pass: every deterministic signal matched exactly and every noisy
+	// signal stayed inside the tolerance band.
+	Pass Verdict = iota
+
+	// WallDrift: deterministic signals all matched, but at least one noisy
+	// signal (wall clock, speedup, merge-mode rate) left the band. On a
+	// shared CI runner this is usually load noise; it fails the gate only
+	// under -strict-wall.
+	WallDrift
+
+	// DetMismatch: a deterministic signal differs from the baseline (or the
+	// reports are structurally incomparable: different experiment, params,
+	// or row set). This is a real regression — the simulator, the operation
+	// model, or a result checksum changed.
+	DetMismatch
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case WallDrift:
+		return "wall-clock drift"
+	case DetMismatch:
+		return "deterministic mismatch"
+	}
+	return "unknown"
+}
+
+// CompareOptions tunes the noisy-signal band. The zero value selects the
+// defaults (factor 4, floor 0.05): generous enough for shared CI runners,
+// tight enough to flag an order-of-magnitude perf regression.
+type CompareOptions struct {
+	// Tolerance is the allowed multiplicative band for noisy signals:
+	// fresh must lie within [baseline/Tolerance, baseline*Tolerance].
+	// <= 1 means the default of 4.
+	Tolerance float64
+
+	// Floor suppresses band violations whose absolute difference is below
+	// this value (seconds for wall clocks; absolute units otherwise) —
+	// microsecond phases drift by large factors without meaning anything.
+	// <= 0 means the default of 0.05.
+	Floor float64
+}
+
+// Compare diffs a fresh run against a baseline and returns the verdict with
+// one human-readable line per difference, deterministic mismatches first.
+func Compare(baseline, fresh *Report, opt CompareOptions) (Verdict, []string) {
+	tol := opt.Tolerance
+	if tol <= 1 {
+		tol = 4
+	}
+	floor := opt.Floor
+	if floor <= 0 {
+		floor = 0.05
+	}
+
+	var det, drift []string
+	if baseline.Experiment != fresh.Experiment {
+		det = append(det, fmt.Sprintf("experiment: baseline %q, fresh %q", baseline.Experiment, fresh.Experiment))
+	}
+	for _, k := range sortedKeys(baseline.Params, fresh.Params) {
+		b, bok := baseline.Params[k]
+		f, fok := fresh.Params[k]
+		switch {
+		case !bok:
+			det = append(det, fmt.Sprintf("param %s: absent in baseline, fresh %s (rerun with matching flags)", k, f))
+		case !fok:
+			det = append(det, fmt.Sprintf("param %s: baseline %s, absent in fresh run (rerun with matching flags)", k, b))
+		case b != f:
+			det = append(det, fmt.Sprintf("param %s: baseline %s, fresh %s (rerun with matching flags)", k, b, f))
+		}
+	}
+
+	bRows := rowIndex(baseline.Rows)
+	fRows := rowIndex(fresh.Rows)
+	for _, row := range baseline.Rows {
+		fr, ok := fRows[row.Name]
+		if !ok {
+			det = append(det, fmt.Sprintf("row %q: present in baseline, missing from fresh run", row.Name))
+			continue
+		}
+		for _, k := range sortedKeys(row.Det, fr.Det) {
+			b, bok := row.Det[k]
+			f, fok := fr.Det[k]
+			switch {
+			case !bok:
+				det = append(det, fmt.Sprintf("row %q det %s: absent in baseline, fresh %s", row.Name, k, f))
+			case !fok:
+				det = append(det, fmt.Sprintf("row %q det %s: baseline %s, absent in fresh run", row.Name, k, b))
+			case b != f:
+				det = append(det, fmt.Sprintf("row %q det %s: baseline %s, fresh %s", row.Name, k, b, f))
+			}
+		}
+		for _, k := range sortedKeys(floatKeys(row.Noisy), floatKeys(fr.Noisy)) {
+			b, bok := row.Noisy[k]
+			f, fok := fr.Noisy[k]
+			if !bok || !fok {
+				drift = append(drift, fmt.Sprintf("row %q noisy %s: present on only one side", row.Name, k))
+				continue
+			}
+			if outsideBand(b, f, tol, floor) {
+				drift = append(drift, fmt.Sprintf("row %q noisy %s: baseline %.4g, fresh %.4g (band ×%g, floor %g)",
+					row.Name, k, b, f, tol, floor))
+			}
+		}
+	}
+	for _, row := range fresh.Rows {
+		if _, ok := bRows[row.Name]; !ok {
+			det = append(det, fmt.Sprintf("row %q: new in fresh run, absent from baseline", row.Name))
+		}
+	}
+
+	switch {
+	case len(det) > 0:
+		return DetMismatch, append(det, drift...)
+	case len(drift) > 0:
+		return WallDrift, drift
+	}
+	return Pass, nil
+}
+
+// outsideBand reports whether fresh falls outside the multiplicative
+// tolerance band around base, ignoring differences below the floor.
+func outsideBand(base, fresh, tol, floor float64) bool {
+	diff := fresh - base
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < floor {
+		return false
+	}
+	lo, hi := base/tol, base*tol
+	if base < 0 {
+		lo, hi = hi, lo
+	}
+	return fresh < lo || fresh > hi
+}
+
+func rowIndex(rows []Row) map[string]Row {
+	out := make(map[string]Row, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func floatKeys(m map[string]float64) map[string]string {
+	out := make(map[string]string, len(m))
+	for k := range m {
+		out[k] = ""
+	}
+	return out
+}
+
+// sortedKeys returns the sorted union of the key sets of ms.
+func sortedKeys(ms ...map[string]string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

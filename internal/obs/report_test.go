@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	r := NewReport("fig7", map[string]string{"scale": "16384", "seed": "42"})
+	r.AddRow("TJ").
+		DetUint("checksum", 0xdeadbeef).
+		DetInt("iterations", 1234567).
+		DetFloat("cdf", 0.49951171875).
+		NoisySeconds("baseline", 280*time.Millisecond).
+		NoisySeconds("twisted", 400*time.Millisecond).
+		NoisyVal("speedup", 0.7)
+	r.AddRow("PC").
+		DetUint("checksum", 0x1).
+		NoisySeconds("baseline", 700*time.Millisecond)
+	r.Telemetry = map[string]int64{"nest.tasks": 127}
+	return r
+}
+
+// TestReportRoundTrip is the emit → parse → compare-with-itself contract:
+// a report written to disk and read back must compare as an exact pass
+// against its in-memory source.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "BENCH_fig7.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, diffs := Compare(r, got, CompareOptions{}); v != Pass || len(diffs) != 0 {
+		t.Fatalf("round-trip verdict %v, diffs %v", v, diffs)
+	}
+	if v, diffs := Compare(got, got, CompareOptions{}); v != Pass || len(diffs) != 0 {
+		t.Fatalf("self-compare verdict %v, diffs %v", v, diffs)
+	}
+	if got.GoVersion == "" || got.GOARCH == "" || got.NumCPU == 0 {
+		t.Fatalf("host info lost in round trip: %+v", got)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	r := sampleReport()
+	r.Schema = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestCompareVerdicts exercises the checker's three verdicts: pass,
+// deterministic mismatch, and wall-clock-only drift.
+func TestCompareVerdicts(t *testing.T) {
+	t.Run("pass despite small wall noise", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.Rows[0].Noisy["baseline"] *= 1.5 // inside the ×4 band
+		if v, diffs := Compare(sampleReport(), fresh, CompareOptions{}); v != Pass {
+			t.Fatalf("verdict %v, diffs %v", v, diffs)
+		}
+	})
+
+	t.Run("deterministic mismatch", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.Rows[0].Det["iterations"] = FormatInt(1234568)
+		v, diffs := Compare(sampleReport(), fresh, CompareOptions{})
+		if v != DetMismatch {
+			t.Fatalf("verdict %v, want DetMismatch", v)
+		}
+		if len(diffs) != 1 || !strings.Contains(diffs[0], "iterations") ||
+			!strings.Contains(diffs[0], "1234567") || !strings.Contains(diffs[0], "1234568") {
+			t.Fatalf("diff not readable: %v", diffs)
+		}
+	})
+
+	t.Run("wall-clock-only drift", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.Rows[1].Noisy["baseline"] *= 10 // outside the band, above the floor
+		v, diffs := Compare(sampleReport(), fresh, CompareOptions{})
+		if v != WallDrift {
+			t.Fatalf("verdict %v (%v), want WallDrift", v, diffs)
+		}
+		if len(diffs) != 1 || !strings.Contains(diffs[0], `row "PC" noisy baseline`) {
+			t.Fatalf("diff not readable: %v", diffs)
+		}
+	})
+
+	t.Run("floor suppresses microsecond drift", func(t *testing.T) {
+		base, fresh := sampleReport(), sampleReport()
+		base.Rows[1].Noisy["baseline"] = 0.0001
+		fresh.Rows[1].Noisy["baseline"] = 0.0099 // 99x but < 0.05 absolute
+		if v, diffs := Compare(base, fresh, CompareOptions{}); v != Pass {
+			t.Fatalf("verdict %v, diffs %v", v, diffs)
+		}
+	})
+
+	t.Run("param mismatch is deterministic", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.Params["scale"] = "4096"
+		v, diffs := Compare(sampleReport(), fresh, CompareOptions{})
+		if v != DetMismatch || len(diffs) != 1 || !strings.Contains(diffs[0], "rerun with matching flags") {
+			t.Fatalf("verdict %v, diffs %v", v, diffs)
+		}
+	})
+
+	t.Run("missing and extra rows are deterministic", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.Rows[1].Name = "VP"
+		v, diffs := Compare(sampleReport(), fresh, CompareOptions{})
+		if v != DetMismatch || len(diffs) != 2 {
+			t.Fatalf("verdict %v, diffs %v", v, diffs)
+		}
+	})
+
+	t.Run("missing det key is deterministic", func(t *testing.T) {
+		fresh := sampleReport()
+		delete(fresh.Rows[0].Det, "checksum")
+		if v, _ := Compare(sampleReport(), fresh, CompareOptions{}); v != DetMismatch {
+			t.Fatalf("verdict %v, want DetMismatch", v)
+		}
+	})
+}
+
+func TestFormatFloatRoundTrips(t *testing.T) {
+	for _, v := range []float64{0, 1.0 / 3, 0.49951171875, 1e-300, 123456789.123456789} {
+		s := FormatFloat(v)
+		if got := FormatFloat(v); got != s {
+			t.Fatalf("unstable formatting for %v", v)
+		}
+	}
+	if FormatUint(0xdeadbeef) != "0xdeadbeef" {
+		t.Fatalf("FormatUint = %s", FormatUint(0xdeadbeef))
+	}
+}
