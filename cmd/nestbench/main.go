@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"twist/internal/experiments"
+	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
 	"twist/internal/workloads"
@@ -49,15 +50,16 @@ import (
 
 // opts carries every flag value an experiment might honor.
 type opts struct {
-	scale   int
-	n       int
-	pcN     int
-	radius  float64
-	seed    int64
-	repeats int
-	workers int
-	variant nest.Variant
-	raw     string // -variant as typed, for params
+	scale      int
+	n          int
+	pcN        int
+	radius     float64
+	seed       int64
+	repeats    int
+	workers    int
+	simWorkers int
+	variant    nest.Variant
+	raw        string // -variant as typed, for params
 }
 
 // experiment is one registered harness. run prints the human-readable table
@@ -75,13 +77,13 @@ type experiment struct {
 var registry = []experiment{
 	{"inventory", "inventory (§6.1 benchmarks)", "-scale -seed", true, inventory},
 	{"fig5", "fig5: reuse-distance CDF, tree join", "-n -seed", true, fig5},
-	{"fig7", "fig7: speedup of recursion twisting", "-scale -seed -repeats -workers", true, fig7},
+	{"fig7", "fig7: speedup of recursion twisting", "-scale -seed -repeats -workers -simworkers -geometry", true, fig7},
 	{"fig8a", "fig8a: instruction overhead (op model)", "-scale -seed", true, fig8a},
-	{"fig8b", "fig8b: simulated L2/L3 miss rates", "-scale -seed -workers", true, fig8b},
-	{"fig9", "fig9: PC across input sizes", "-radius -seed -repeats -workers", true, fig9},
+	{"fig8b", "fig8b: simulated L2/L3 miss rates", "-scale -seed -workers -simworkers -geometry", true, fig8b},
+	{"fig9", "fig9: PC across input sizes", "-radius -seed -repeats -workers -simworkers -geometry", true, fig9},
 	{"fig10", "fig10: PC cutoff study (§7.1)", "-pcn -radius -seed -repeats -workers", true, fig10},
-	{"ablation", "ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)", "-pcn -radius -seed -repeats", true, ablation},
-	{"kary", "kary: octree (8-ary) point correlation extension (§2.1 generality)", "-pcn -seed", true, kary},
+	{"ablation", "ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)", "-pcn -radius -seed -repeats -geometry", true, ablation},
+	{"kary", "kary: octree (8-ary) point correlation extension (§2.1 generality)", "-pcn -seed -geometry", true, kary},
 	{"iters", "iters: §4.2 iteration counts, PC", "-pcn -radius -seed", true, iters},
 	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant", false, bench},
 }
@@ -99,7 +101,7 @@ func usage() {
 		case "fig8b", "fig9":
 			note = "-workers > 1 = merge-mode simulation (nondeterministic; report rates become noisy)"
 		case "fig7":
-			note = "-workers >= 1 adds the §7.3 parallel columns"
+			note = "-workers >= 1 adds the §7.3 parallel columns; -simworkers >= 1 adds the sim-engine columns"
 		case "fig10":
 			note = "-workers >= 1 times all schedules under the work-stealing executor"
 		case "bench":
@@ -125,6 +127,8 @@ func run() int {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		repeats    = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
 		workers    = flag.Int("workers", 0, "parallel dimension (see -h flag matrix): 0 = off")
+		simWorkers = flag.Int("simworkers", 1, "cache-simulation shard workers: <= 1 sequential, > 1 set-partitioned parallel engine (stats bit-identical either way)")
+		geometry   = flag.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
 		variant    = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
 		jsonOut    = flag.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
 		baseline   = flag.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
@@ -147,9 +151,17 @@ func run() int {
 	if err != nil {
 		return fail("%v", err)
 	}
+	if *geometry != "" {
+		levels, err := memsim.ParseGeometry(*geometry)
+		if err != nil {
+			return fail("%v", err)
+		}
+		experiments.SetGeometry(levels)
+	}
 	o := opts{
 		scale: *scale, n: *n, pcN: *pcN, radius: *radius, seed: *seed,
-		repeats: *repeats, workers: *workers, variant: v, raw: *variant,
+		repeats: *repeats, workers: *workers, simWorkers: *simWorkers,
+		variant: v, raw: *variant,
 	}
 
 	var selected []experiment
@@ -295,6 +307,12 @@ func params(o opts, keys ...string) map[string]string {
 			out[k] = strconv.Itoa(o.repeats)
 		case "workers":
 			out[k] = strconv.Itoa(o.workers)
+		case "simworkers":
+			out[k] = strconv.Itoa(o.simWorkers)
+		case "geometry":
+			// The resolved geometry, not the raw flag: a baseline pins the
+			// hierarchy it was measured on even when the flag was defaulted.
+			out[k] = experiments.GeometryString()
 		case "variant":
 			out[k] = o.variant.String()
 		default:
@@ -328,32 +346,46 @@ func fig5(o opts) (*obs.Report, error) {
 }
 
 func fig7(o opts) (*obs.Report, error) {
-	rows, err := experiments.Fig7(o.scale, o.seed, o.repeats, o.workers)
+	rows, err := experiments.Fig7(o.scale, o.seed, o.repeats, o.workers, o.simWorkers)
 	if err != nil {
 		return nil, err
 	}
-	rep := obs.NewReport("fig7", params(o, "scale", "seed", "repeats", "workers"))
+	rep := obs.NewReport("fig7", params(o, "scale", "seed", "repeats", "workers", "simworkers", "geometry"))
 	w := table()
+	hdr := "bench\tbaseline\ttwisted\tspeedup"
 	if o.workers >= 1 {
-		fmt.Fprintf(w, "bench\tbaseline\ttwisted\tspeedup\tpar w=1\tpar w=%d\tpar speedup\n", o.workers)
-	} else {
-		fmt.Fprintln(w, "bench\tbaseline\ttwisted\tspeedup")
+		hdr += fmt.Sprintf("\tpar w=1\tpar w=%d\tpar speedup", o.workers)
 	}
+	if o.simWorkers >= 1 {
+		hdr += fmt.Sprintf("\tsim seq\tsim w=%d\tsim speedup\tsim L2\tsim L3", o.simWorkers)
+	}
+	fmt.Fprintln(w, hdr)
 	for _, r := range rows {
 		row := rep.AddRow(r.Bench).
 			DetUint("checksum", r.Checksum).
 			NoisySeconds("baseline", r.Baseline).
 			NoisySeconds("twisted", r.Twisted).
 			NoisyVal("speedup", r.Speedup)
+		line := fmt.Sprintf("%s\t%v\t%v\t%.2fx", r.Bench, r.Baseline, r.Twisted, r.Speedup)
 		if o.workers >= 1 {
-			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%v\t%v\t%.2fx\n",
-				r.Bench, r.Baseline, r.Twisted, r.Speedup, r.Par1, r.ParN, r.ParSpeedup)
+			line += fmt.Sprintf("\t%v\t%v\t%.2fx", r.Par1, r.ParN, r.ParSpeedup)
 			row.NoisySeconds("par1", r.Par1).
 				NoisySeconds("parN", r.ParN).
 				NoisyVal("par_speedup", r.ParSpeedup)
-		} else {
-			fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\n", r.Bench, r.Baseline, r.Twisted, r.Speedup)
 		}
+		if o.simWorkers >= 1 {
+			line += fmt.Sprintf("\t%v\t%v\t%.2fx\t%.1f%%\t%.1f%%",
+				r.SimSeq, r.SimPar, r.SimSpeedup, 100*r.SimL2, 100*r.SimL3)
+			// The sim miss rates are deterministic — both engines produced
+			// them bit-identically or Fig7 would have errored, which is the
+			// parallel-vs-sequential gate the CI baseline check leans on.
+			row.NoisySeconds("sim_seq", r.SimSeq).
+				NoisySeconds("sim_par", r.SimPar).
+				NoisyVal("sim_speedup", r.SimSpeedup).
+				DetFloat("sim_l2", r.SimL2).
+				DetFloat("sim_l3", r.SimL3)
+		}
+		fmt.Fprintln(w, line)
 	}
 	geo := experiments.GeoMean(rows)
 	fmt.Fprintf(w, "geomean\t\t\t%.2fx\n", geo)
@@ -419,11 +451,11 @@ func fig8a(o opts) (*obs.Report, error) {
 }
 
 func fig8b(o opts) (*obs.Report, error) {
-	rows, err := experiments.Fig8b(o.scale, o.seed, o.workers)
+	rows, err := experiments.Fig8b(o.scale, o.seed, o.workers, o.simWorkers)
 	if err != nil {
 		return nil, err
 	}
-	rep := obs.NewReport("fig8b", params(o, "scale", "seed", "workers"))
+	rep := obs.NewReport("fig8b", params(o, "scale", "seed", "workers", "simworkers", "geometry"))
 	det := o.workers <= 1 // merge-mode interleaving is nondeterministic
 	w := table()
 	fmt.Fprintln(w, "bench\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
@@ -441,11 +473,11 @@ func fig8b(o opts) (*obs.Report, error) {
 
 func fig9(o opts) (*obs.Report, error) {
 	sizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768}
-	rows, err := experiments.Fig9(sizes, o.radius, o.seed, o.repeats, o.workers)
+	rows, err := experiments.Fig9(sizes, o.radius, o.seed, o.repeats, o.workers, o.simWorkers)
 	if err != nil {
 		return nil, err
 	}
-	rep := obs.NewReport("fig9", params(o, "radius", "seed", "repeats", "workers"))
+	rep := obs.NewReport("fig9", params(o, "radius", "seed", "repeats", "workers", "simworkers", "geometry"))
 	det := o.workers <= 1
 	w := table()
 	fmt.Fprintln(w, "n\tspeedup\tL2 base\tL2 twisted\tL3 base\tL3 twisted")
@@ -509,7 +541,7 @@ func iters(o opts) (*obs.Report, error) {
 }
 
 func ablation(o opts) (*obs.Report, error) {
-	rep := obs.NewReport("ablation", params(o, "pcn", "radius", "seed", "repeats"))
+	rep := obs.NewReport("ablation", params(o, "pcn", "radius", "seed", "repeats", "geometry"))
 	w := table()
 	fmt.Fprintln(w, "flag mode\tflag sets\tflag clears\tmodel ops\twall")
 	for _, r := range experiments.AblationFlags(o.pcN, o.radius, o.seed, o.repeats) {
@@ -542,7 +574,7 @@ func ablation(o opts) (*obs.Report, error) {
 }
 
 func kary(o opts) (*obs.Report, error) {
-	rep := obs.NewReport("kary", params(o, "pcn", "seed"))
+	rep := obs.NewReport("kary", params(o, "pcn", "seed", "geometry"))
 	w := table()
 	fmt.Fprintln(w, "schedule\tpairs<=r\titerations\ttwists\tL2\tL3")
 	for _, r := range experiments.KAryOctree(o.pcN, 0.3, o.seed) {

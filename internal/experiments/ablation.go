@@ -93,7 +93,8 @@ type StrideAblationRow struct {
 }
 
 // AblationStride runs the n-node tree join through the simulated hierarchy
-// at several node strides.
+// at several node strides. The rows report the last (largest) configured
+// level, L3 under the default geometry.
 func AblationStride(n int, strides []int, seed int64) []StrideAblationRow {
 	defer obs.Span(rec, "experiments.ablation.stride")()
 	outer := tree.NewBalanced(n)
@@ -103,6 +104,7 @@ func AblationStride(n int, strides []int, seed int64) []StrideAblationRow {
 		maps := memsim.DisjointMappers(2, memsim.Addr(stride))
 		measure := func(v nest.Variant) memsim.LevelStats {
 			h := SimHierarchy()
+			defer h.Close()
 			s := nest.Spec{
 				Outer: outer,
 				Inner: inner,
@@ -115,7 +117,8 @@ func AblationStride(n int, strides []int, seed int64) []StrideAblationRow {
 			e.Run(v) // warmup
 			h.ResetStats()
 			e.Run(v)
-			return h.Stats()[2]
+			st := h.Stats()
+			return st[len(st)-1]
 		}
 		base := measure(nest.Original())
 		tw := measure(nest.Twisted())

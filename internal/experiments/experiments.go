@@ -38,17 +38,66 @@ func SetRecorder(r obs.Recorder) {
 	rec = r
 }
 
-// SimHierarchy returns the scaled cache hierarchy used for all simulated
-// miss-rate experiments: 2K/8-way L1, 16K/8-way L2, 128K/16-way L3. The
-// paper's machine had 32K/256K/20M (ratios 1:8:640); the scaled-down
-// geometry (1:8:64) reaches the paper's "working set exceeds the LLC" regime
-// at laptop-scale inputs while keeping trace lengths tractable.
-func SimHierarchy() *memsim.Hierarchy {
-	return memsim.MustNewHierarchy(
-		memsim.CacheConfig{Name: "L1", SizeBytes: 2 << 10, LineBytes: 64, Ways: 8},
-		memsim.CacheConfig{Name: "L2", SizeBytes: 16 << 10, LineBytes: 64, Ways: 8},
-		memsim.CacheConfig{Name: "L3", SizeBytes: 128 << 10, LineBytes: 64, Ways: 16},
-	)
+// scaledLevels is the default simulated geometry: 2K/8-way L1, 16K/8-way
+// L2, 128K/16-way L3. The paper's machine had 32K/256K/20M (ratios 1:8:640);
+// the scaled-down geometry (1:8:64) reaches the paper's "working set exceeds
+// the LLC" regime at laptop-scale inputs while keeping trace lengths
+// tractable.
+func scaledLevels() []memsim.CacheConfig {
+	return []memsim.CacheConfig{
+		{Name: "L1", SizeBytes: 2 << 10, LineBytes: 64, Ways: 8},
+		{Name: "L2", SizeBytes: 16 << 10, LineBytes: 64, Ways: 8},
+		{Name: "L3", SizeBytes: 128 << 10, LineBytes: 64, Ways: 16},
+	}
+}
+
+// simLevels is the geometry every simulated miss-rate experiment uses.
+var simLevels = scaledLevels()
+
+// SetGeometry replaces the simulated cache geometry for subsequent
+// experiments (nil restores the scaled default). cmd/nestbench wires its
+// -geometry flag here; like SetRecorder, it must not be called concurrently
+// with a running experiment.
+func SetGeometry(levels []memsim.CacheConfig) {
+	if levels == nil {
+		levels = scaledLevels()
+	}
+	simLevels = levels
+}
+
+// Geometry returns a copy of the cache levels the simulated experiments
+// currently run against.
+func Geometry() []memsim.CacheConfig {
+	return append([]memsim.CacheConfig(nil), simLevels...)
+}
+
+// GeometryString renders the current geometry in memsim.ParseGeometry form —
+// the value nestbench records in BENCH report params so a committed baseline
+// pins the simulated hierarchy it was measured on.
+func GeometryString() string { return memsim.FormatGeometry(simLevels) }
+
+// SimHierarchy returns a fresh sequential simulator over the current
+// geometry (see SetGeometry). Harness code that wants the parallel engine
+// goes through memsim.New with Config.SimWorkers instead, as newSim does.
+func SimHierarchy() memsim.Simulator {
+	return newSim(1)
+}
+
+// newSim builds a simulator over the current geometry: sequential for
+// simWorkers <= 1, set-partitioned parallel otherwise (bit-identical stats
+// either way; DESIGN.md §4.8). Callers own the Close.
+func newSim(simWorkers int) memsim.Simulator {
+	return memsim.MustNew(memsim.Config{Levels: simLevels, SimWorkers: simWorkers})
+}
+
+// levelRate returns the miss rate of level li, or 0 when the configured
+// geometry has fewer levels (a custom -geometry may be shallower than the
+// default three).
+func levelRate(st []memsim.LevelStats, li int) float64 {
+	if li >= len(st) {
+		return 0
+	}
+	return st[li].MissRate()
 }
 
 // time runs f repeats times with the GC quiesced and returns the best
@@ -88,75 +137,85 @@ func runWall(in *workloads.Instance, v nest.Variant, repeats int) (time.Duration
 // observe on multi-hour runs (note Fig 9's remark that compulsory misses are
 // only noticeable at the very smallest inputs).
 func missRates(in *workloads.Instance, v nest.Variant) []memsim.LevelStats {
-	st, err := missRatesWith(in, v, 1)
+	st, err := missRatesWith(in, v, 1, 1)
 	if err != nil {
 		panic(err) // unreachable: the sequential path cannot fail
 	}
 	return st
 }
 
-// missRatesWith is missRates with a worker dimension, built on the memsim
+// missRatesWith is missRates with two worker dimensions, built on the memsim
 // streaming pipeline — the simulation holds O(cache geometry + workers·batch)
 // memory regardless of trace length, instead of materializing the trace.
-// With workers <= 1 a single Sink preserves the exact sequential access
-// order, so the stats are bit-identical to the eager flow. With more
-// workers, each worker emits into its own Sink and the Stream interleaves
-// full batches in completion order: the merge mode, modeling the workers
-// sharing one cache hierarchy (the interleaving — like real shared-cache
-// timing — is not deterministic, but every access is simulated exactly once).
-func missRatesWith(in *workloads.Instance, v nest.Variant, workers int) ([]memsim.LevelStats, error) {
-	h := SimHierarchy()
-	st := memsim.NewStream(h, 0)
-	var run func() error
-	if workers <= 1 {
-		sk := st.Sink()
-		run = func() error {
-			in.Reset()
+//
+// workers drives the traced execution: with workers <= 1 a single Sink
+// preserves the exact sequential access order, so the stats are bit-identical
+// to the eager flow. With more workers, each executor worker emits into its
+// own Sink and the Stream interleaves full batches in completion order: the
+// merge mode, modeling the workers sharing one cache hierarchy (the
+// interleaving — like real shared-cache timing — is not deterministic, but
+// every access is simulated exactly once).
+//
+// simWorkers drives the simulator consuming the trace: <= 1 sequential,
+// > 1 the set-partitioned parallel engine — stats are bit-identical either
+// way for the same delivered trace (DESIGN.md §4.8), so the dimension buys
+// simulation throughput without perturbing any deterministic signal.
+//
+// A Stream is single-shot (Close flushes and seals it), so each of the two
+// runs — warmup then measure — builds a fresh Stream over the one persistent
+// simulator; ResetStats between them implements the warmup/measure protocol.
+func missRatesWith(in *workloads.Instance, v nest.Variant, workers, simWorkers int) ([]memsim.LevelStats, error) {
+	sim := newSim(simWorkers)
+	defer sim.Close()
+	var last *memsim.Stream
+	run := func() error {
+		st := memsim.NewStream(sim, 0)
+		last = st
+		in.Reset()
+		if workers <= 1 {
+			sk := st.Sink()
 			e := nest.MustNew(in.TracedSpec(sk.Emit))
 			e.Run(v)
 			st.Close()
 			return nil
 		}
-	} else {
 		sinks := make([]*memsim.Sink, workers)
 		for w := range sinks {
 			sinks[w] = st.Sink()
 		}
 		trace := in.Trace
-		run = func() error {
-			in.Reset()
-			e := nest.MustNew(in.Spec)
-			_, err := e.RunWith(nest.RunConfig{
-				Variant:  v,
-				Workers:  workers,
-				Stealing: true,
-				Recorder: rec,
-				ForTask:  in.ForTask,
-				WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
-					emit := sinks[w].Emit
-					return func(o, i tree.NodeID) {
-						trace(o, i, emit)
-						work(o, i)
-					}
-				},
-			})
-			if err != nil {
-				return err
-			}
-			st.Close()
-			return nil
+		e := nest.MustNew(in.Spec)
+		_, err := e.RunWith(nest.RunConfig{
+			Variant:    v,
+			Workers:    workers,
+			Stealing:   true,
+			SimWorkers: simWorkers,
+			Recorder:   rec,
+			ForTask:    in.ForTask,
+			WrapWork: func(w int, work func(o, i tree.NodeID)) func(o, i tree.NodeID) {
+				emit := sinks[w].Emit
+				return func(o, i tree.NodeID) {
+					trace(o, i, emit)
+					work(o, i)
+				}
+			},
+		})
+		if err != nil {
+			return err
 		}
+		st.Close()
+		return nil
 	}
 	if err := run(); err != nil { // warmup
 		return nil, err
 	}
-	h.ResetStats()
+	sim.ResetStats()
 	if err := run(); err != nil {
 		return nil, err
 	}
-	h.Publish(rec, fmt.Sprintf("memsim.%s.%v", in.Name, v))
-	st.Publish(rec, fmt.Sprintf("memsim.%s.%v.stream", in.Name, v))
-	return h.Stats(), nil
+	sim.Publish(rec, fmt.Sprintf("memsim.%s.%v", in.Name, v))
+	last.Publish(rec, fmt.Sprintf("memsim.%s.%v.stream", in.Name, v))
+	return sim.Stats(), nil
 }
 
 // --- Fig 5: reuse-distance CDF --------------------------------------------
@@ -208,6 +267,19 @@ type Fig7Row struct {
 	ParN       time.Duration
 	ParSpeedup float64
 
+	// SimSeq/SimPar time the trace-driven cache simulation of the twisted
+	// schedule on the sequential engine and on the set-partitioned parallel
+	// engine with the requested shard-worker count (zero when the sim phase
+	// is off); SimSpeedup is SimSeq/SimPar. Wall clocks, hence noisy.
+	SimSeq     time.Duration
+	SimPar     time.Duration
+	SimSpeedup float64
+
+	// SimL2/SimL3 are the twisted schedule's simulated L2/L3 miss rates from
+	// the same phase — deterministic, and verified bit-identical between the
+	// two engines before the row is returned.
+	SimL2, SimL3 float64
+
 	// Checksum is the benchmark result checksum, identical across every
 	// schedule and worker count — the row's deterministic signal in the
 	// BENCH_fig7.json regression baseline.
@@ -219,8 +291,13 @@ type Fig7Row struct {
 // workers >= 1 it additionally runs the twisted schedule under the
 // work-stealing executor at 1 and at workers workers, verifies every run's
 // checksum against the baseline, and verifies the two parallel runs' merged
-// Stats are identical — the determinism contract of the executor.
-func Fig7(scale int, seed int64, repeats, workers int) ([]Fig7Row, error) {
+// Stats are identical — the determinism contract of the executor. With
+// simWorkers >= 1 it also runs the twisted trace through the sequential and
+// the set-partitioned parallel cache simulator, verifies their stats are
+// bit-identical (the §4.8 determinism contract — a mismatch is an error,
+// which is what the CI gate leans on), and reports both sim wall clocks plus
+// the L2/L3 miss rates.
+func Fig7(scale int, seed int64, repeats, workers, simWorkers int) ([]Fig7Row, error) {
 	defer obs.Span(rec, "experiments.fig7")()
 	var rows []Fig7Row
 	for _, in := range workloads.Suite(scale, seed) {
@@ -256,9 +333,53 @@ func Fig7(scale int, seed int64, repeats, workers int) ([]Fig7Row, error) {
 			row.Par1, row.ParN = d1, dn
 			row.ParSpeedup = float64(d1) / float64(dn)
 		}
+		if simWorkers >= 1 {
+			if err := simPhase(in, simWorkers, &row); err != nil {
+				return nil, err
+			}
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// simPhase runs the twisted trace of in through the sequential simulator and
+// through the parallel simulator with simWorkers shard workers, times both
+// (the clock covers trace generation plus simulation, stopping only after
+// Stats() has drained every in-flight batch), errors unless the two engines'
+// per-level stats are bit-identical, and fills the row's Sim* columns.
+func simPhase(in *workloads.Instance, simWorkers int, row *Fig7Row) error {
+	runSim := func(sim memsim.Simulator) (time.Duration, []memsim.LevelStats) {
+		st := memsim.NewStream(sim, 0)
+		sk := st.Sink()
+		in.Reset()
+		e := nest.MustNew(in.TracedSpec(sk.Emit))
+		t0 := time.Now()
+		e.Run(nest.Twisted())
+		st.Close()
+		stats := sim.Stats()
+		return time.Since(t0), stats
+	}
+	seq := newSim(1)
+	dSeq, stSeq := runSim(seq)
+	seq.Close()
+	par := newSim(simWorkers)
+	dPar, stPar := runSim(par)
+	par.Publish(rec, "fig7."+in.Name+".sim")
+	par.Close()
+	for k := range stSeq {
+		if stSeq[k] != stPar[k] {
+			return fmt.Errorf("fig7: %s simulated stats diverge between engines at %s:\n  seq: %+v\n  par: %+v",
+				in.Name, stSeq[k].Name, stSeq[k], stPar[k])
+		}
+	}
+	rec.Time("fig7."+in.Name+".simseq", dSeq)
+	rec.Time("fig7."+in.Name+".simpar", dPar)
+	row.SimSeq, row.SimPar = dSeq, dPar
+	row.SimSpeedup = float64(dSeq) / float64(dPar)
+	row.SimL2 = levelRate(stSeq, 1)
+	row.SimL3 = levelRate(stSeq, 2)
+	return nil
 }
 
 // parWall times the work-stealing twisted run of in at the given worker
@@ -331,25 +452,27 @@ type Fig8bRow struct {
 // Fig8b measures simulated miss rates for the six benchmarks. workers <= 1
 // reproduces the paper's sequential figure through the streaming pipeline;
 // workers > 1 simulates the parallel twisted execution in merge mode, with
-// all workers' interleaved accesses sharing the one hierarchy.
-func Fig8b(scale int, seed int64, workers int) ([]Fig8bRow, error) {
+// all workers' interleaved accesses sharing the one hierarchy. simWorkers
+// sizes the simulator itself (sequential vs set-partitioned parallel; the
+// rates are bit-identical either way).
+func Fig8b(scale int, seed int64, workers, simWorkers int) ([]Fig8bRow, error) {
 	defer obs.Span(rec, "experiments.fig8b")()
 	var rows []Fig8bRow
 	for _, in := range workloads.Suite(scale, seed) {
-		base, err := missRatesWith(in, nest.Original(), workers)
+		base, err := missRatesWith(in, nest.Original(), workers, simWorkers)
 		if err != nil {
 			return nil, err
 		}
-		tw, err := missRatesWith(in, nest.Twisted(), workers)
+		tw, err := missRatesWith(in, nest.Twisted(), workers, simWorkers)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Fig8bRow{
 			Bench:   in.Name,
-			BaseL2:  base[1].MissRate(),
-			TwistL2: tw[1].MissRate(),
-			BaseL3:  base[2].MissRate(),
-			TwistL3: tw[2].MissRate(),
+			BaseL2:  levelRate(base, 1),
+			TwistL2: levelRate(tw, 1),
+			BaseL3:  levelRate(base, 2),
+			TwistL3: levelRate(tw, 2),
 		})
 	}
 	return rows, nil
@@ -366,11 +489,11 @@ type Fig9Row struct {
 
 // Fig9 sweeps point-correlation input sizes (log-spaced, as in the paper's
 // log-scale x axis) and reports wall-clock speedup plus simulated miss
-// rates. workers has the same meaning as in Fig8b — the miss-rate columns
-// come from the streaming simulation, sequential single-sink for
-// workers <= 1 (deterministic), merge mode otherwise; the wall-clock
-// speedup column is always the sequential paper comparison.
-func Fig9(sizes []int, radius float64, seed int64, repeats, workers int) ([]Fig9Row, error) {
+// rates. workers and simWorkers have the same meaning as in Fig8b — the
+// miss-rate columns come from the streaming simulation, sequential
+// single-sink for workers <= 1 (deterministic), merge mode otherwise; the
+// wall-clock speedup column is always the sequential paper comparison.
+func Fig9(sizes []int, radius float64, seed int64, repeats, workers, simWorkers int) ([]Fig9Row, error) {
 	defer obs.Span(rec, "experiments.fig9")()
 	var rows []Fig9Row
 	for _, n := range sizes {
@@ -380,21 +503,21 @@ func Fig9(sizes []int, radius float64, seed int64, repeats, workers int) ([]Fig9
 		if cb != ct {
 			return nil, fmt.Errorf("fig9: n=%d checksum mismatch", n)
 		}
-		base, err := missRatesWith(in, nest.Original(), workers)
+		base, err := missRatesWith(in, nest.Original(), workers, simWorkers)
 		if err != nil {
 			return nil, err
 		}
-		tw, err := missRatesWith(in, nest.Twisted(), workers)
+		tw, err := missRatesWith(in, nest.Twisted(), workers, simWorkers)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Fig9Row{
 			N:       n,
 			Speedup: float64(db) / float64(dt),
-			BaseL2:  base[1].MissRate(),
-			TwistL2: tw[1].MissRate(),
-			BaseL3:  base[2].MissRate(),
-			TwistL3: tw[2].MissRate(),
+			BaseL2:  levelRate(base, 1),
+			TwistL2: levelRate(tw, 1),
+			BaseL3:  levelRate(base, 2),
+			TwistL3: levelRate(tw, 2),
 		})
 	}
 	return rows, nil

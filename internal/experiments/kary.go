@@ -59,13 +59,14 @@ func KAryOctree(n int, radius float64, seed int64) []KAryRow {
 		count = 0
 		e.Run(v)
 		st := h.Stats()
+		h.Close()
 		rows = append(rows, KAryRow{
 			Schedule:   v.String(),
 			Count:      count,
 			Iterations: e.Stats.Iterations,
 			Twists:     e.Stats.Twists,
-			L2:         st[1].MissRate(),
-			L3:         st[2].MissRate(),
+			L2:         levelRate(st, 1),
+			L3:         levelRate(st, 2),
 		})
 	}
 	return rows

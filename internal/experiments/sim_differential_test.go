@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"twist/internal/memsim"
+	"twist/internal/nest"
+	"twist/internal/workloads"
+)
+
+// The acceptance differential for the parallel simulator on real traces: for
+// every benchmark in the suite, the set-partitioned engine at several worker
+// counts produces per-level stats bit-identical to the sequential engine on
+// the same twisted-schedule trace. (memsim's own differential tests cover
+// synthetic traces; this one covers the six workloads' actual access
+// patterns — pointer-chasing cross products, truncated traversals, k-d
+// sweeps.)
+func TestShardedSimMatchesSequentialOnSuite(t *testing.T) {
+	for _, in := range workloads.Suite(256, 17) {
+		// Materialize the twisted trace once so every engine consumes the
+		// byte-identical address sequence.
+		var trace []memsim.Addr
+		in.Reset()
+		e := nest.MustNew(in.TracedSpec(func(a memsim.Addr) { trace = append(trace, a) }))
+		e.Run(nest.Twisted())
+		if len(trace) == 0 {
+			t.Fatalf("%s produced an empty trace", in.Name)
+		}
+
+		seq := newSim(1)
+		seq.AccessBatch(trace)
+		want := seq.Stats()
+		seq.Close()
+
+		for _, w := range []int{2, 4, 8} {
+			sim := newSim(w)
+			sim.AccessBatch(trace)
+			got := sim.Stats()
+			sim.Close()
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s: W=%d level %s stats %+v, want %+v",
+						in.Name, w, want[k].Name, got[k], want[k])
+				}
+			}
+		}
+	}
+}

@@ -118,6 +118,9 @@ type Hierarchy struct {
 
 // NewHierarchy builds a hierarchy from the given level configs, ordered from
 // closest (L1) to farthest (LLC).
+//
+// Deprecated: construct simulators through New(Config{Levels: cfgs}); this
+// remains as the sequential engine behind it and for existing callers.
 func NewHierarchy(cfgs ...CacheConfig) (*Hierarchy, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("memsim: hierarchy needs at least one level")
@@ -137,6 +140,8 @@ func NewHierarchy(cfgs ...CacheConfig) (*Hierarchy, error) {
 }
 
 // MustNewHierarchy is NewHierarchy that panics on error.
+//
+// Deprecated: use MustNew(Config{Levels: cfgs}) instead.
 func MustNewHierarchy(cfgs ...CacheConfig) *Hierarchy {
 	h, err := NewHierarchy(cfgs...)
 	if err != nil {
@@ -150,12 +155,21 @@ func MustNewHierarchy(cfgs ...CacheConfig) *Hierarchy {
 // a 2M/16-way LLC scaled down from the paper's 20M so that the paper's
 // "working set exceeds the LLC" regime is reached at laptop-scale inputs
 // (the substitution documented in DESIGN.md §1).
+//
+// Deprecated: use MustNew(Config{Levels: DefaultLevels()}) — or pass
+// SimWorkers for the parallel engine over the same geometry.
 func Default() *Hierarchy {
-	return MustNewHierarchy(
-		CacheConfig{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
-		CacheConfig{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8},
-		CacheConfig{Name: "L3", SizeBytes: 2 << 20, LineBytes: 64, Ways: 16},
-	)
+	return MustNewHierarchy(DefaultLevels()...)
+}
+
+// DefaultLevels returns the scaled three-level geometry behind Default, in
+// Config form.
+func DefaultLevels() []CacheConfig {
+	return []CacheConfig{
+		{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
+		{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8},
+		{Name: "L3", SizeBytes: 2 << 20, LineBytes: 64, Ways: 16},
+	}
 }
 
 // Access simulates one load of the byte at a.
@@ -214,14 +228,24 @@ func (h *Hierarchy) Publish(r obs.Recorder, prefix string) {
 	if r == nil {
 		return
 	}
-	for _, l := range h.levels {
-		p := prefix + "." + l.name
-		r.Count(p+".accesses", l.accesses)
-		r.Count(p+".hits", l.accesses-l.misses)
-		r.Count(p+".misses", l.misses)
-		r.Count(p+".evictions", l.evictions)
+	publishLevels(r, prefix, h.Stats())
+}
+
+// publishLevels emits per-level stats under prefix.<level>.*: the shared
+// wire format of both simulator engines.
+func publishLevels(r obs.Recorder, prefix string, stats []LevelStats) {
+	for _, s := range stats {
+		p := prefix + "." + s.Name
+		r.Count(p+".accesses", s.Accesses)
+		r.Count(p+".hits", s.Accesses-s.Misses)
+		r.Count(p+".misses", s.Misses)
+		r.Count(p+".evictions", s.Evictions)
 	}
 }
+
+// Close implements Simulator; the sequential engine has no background
+// resources, so it is a no-op.
+func (h *Hierarchy) Close() {}
 
 // Mapper assigns addresses to arena tree nodes: node k of the tree lives at
 // Base + k*Stride. With Stride 64 (one line per node) the simulation is the

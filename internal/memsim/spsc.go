@@ -1,0 +1,117 @@
+package memsim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Lock-free SPSC batch queues for the sharded simulator (sharded.go).
+//
+// Each shard owns two rings: the router pushes full address batches into the
+// shard's work ring, and the shard worker pushes spent buffers back through a
+// recycle ring so the steady state allocates nothing. Both directions are
+// strictly single-producer/single-consumer, which is what makes the
+// wait-free fast path possible: each side owns one index, publishes it with
+// a release store, and observes the other side's index with an acquire load
+// (Go's sync/atomic provides the ordering). No mutex is ever taken on the
+// address hot path.
+
+// spscRing is a bounded single-producer single-consumer ring of address
+// batches. The producer alone calls push/tryPush and the consumer alone
+// calls pop/tryPop; head is advanced only by the consumer, tail only by the
+// producer. The pads keep the two indices on separate cache lines so the
+// sides do not false-share.
+type spscRing struct {
+	slots []([]Addr)
+	mask  uint64
+	_     [56]byte
+	head  atomic.Uint64 // next slot to pop
+	_     [56]byte
+	tail  atomic.Uint64 // next slot to push
+	_     [56]byte
+	done  atomic.Bool
+}
+
+// newSPSC returns a ring with capacity rounded up to a power of two.
+func newSPSC(capacity int) *spscRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &spscRing{slots: make([][]Addr, c), mask: uint64(c - 1)}
+}
+
+// close marks the ring finished. The producer calls it after its final push;
+// a blocked pop then drains the remaining slots and returns false.
+func (q *spscRing) close() { q.done.Store(true) }
+
+// push enqueues b, blocking while the ring is full. It reports false if the
+// ring was closed instead.
+func (q *spscRing) push(b []Addr) bool {
+	tail := q.tail.Load()
+	var w backoff
+	for tail-q.head.Load() == uint64(len(q.slots)) {
+		if q.done.Load() {
+			return false
+		}
+		w.wait()
+	}
+	q.slots[tail&q.mask] = b
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// tryPush enqueues b if the ring has room, reporting whether it did.
+func (q *spscRing) tryPush(b []Addr) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.slots)) || q.done.Load() {
+		return false
+	}
+	q.slots[tail&q.mask] = b
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// pop dequeues the next batch, blocking while the ring is empty. It reports
+// false once the ring is closed and fully drained.
+func (q *spscRing) pop() ([]Addr, bool) {
+	head := q.head.Load()
+	var w backoff
+	for head == q.tail.Load() {
+		if q.done.Load() && head == q.tail.Load() {
+			return nil, false
+		}
+		w.wait()
+	}
+	b := q.slots[head&q.mask]
+	q.slots[head&q.mask] = nil
+	q.head.Store(head + 1)
+	return b, true
+}
+
+// tryPop dequeues the next batch if one is ready, reporting whether it did.
+func (q *spscRing) tryPop() ([]Addr, bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return nil, false
+	}
+	b := q.slots[head&q.mask]
+	q.slots[head&q.mask] = nil
+	q.head.Store(head + 1)
+	return b, true
+}
+
+// backoff escalates a wait from scheduler yields to short sleeps, so a side
+// blocked on a full or empty ring stops burning its core while staying
+// responsive in the common case where the other side is only a batch away.
+type backoff int
+
+func (w *backoff) wait() {
+	*w++
+	if *w < 64 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}

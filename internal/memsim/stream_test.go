@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 func smallHierarchy() *Hierarchy {
@@ -64,6 +65,55 @@ func TestStreamMergeCountsAllAccesses(t *testing.T) {
 		t.Fatalf("L1 saw %d accesses, want %d", got, producers*each)
 	}
 }
+
+// Regression test for the Close/Flush ordering bug: a Flush (or Emit batch)
+// arriving after Close used to silently append to a trace that consumers
+// had already treated as complete. Now it is a no-op with a recorded drop
+// count.
+func TestStreamFlushAfterCloseDropsAndCounts(t *testing.T) {
+	h := smallHierarchy()
+	st := NewStream(h, 8)
+	sk := st.Sink()
+	for k := 0; k < 10; k++ {
+		sk.Emit(Addr(k * 64))
+	}
+	st.Close()
+	want := h.Stats()[0]
+	if want.Accesses != 10 {
+		t.Fatalf("pre-close accesses = %d, want 10", want.Accesses)
+	}
+
+	// A straggling producer keeps emitting after the pipeline shut down.
+	for k := 0; k < 20; k++ {
+		sk.Emit(Addr(k * 64))
+	}
+	sk.Flush()
+	if got := h.Stats()[0]; got != want {
+		t.Fatalf("post-close emissions reached the simulator: %+v, want %+v", got, want)
+	}
+	if got := st.Dropped(); got != 20 {
+		t.Fatalf("Dropped() = %d, want 20", got)
+	}
+
+	// Close is idempotent and drops nothing new.
+	st.Close()
+	if got := st.Dropped(); got != 20 {
+		t.Fatalf("Dropped() after second Close = %d, want 20", got)
+	}
+
+	// The drop counter reaches the observability layer.
+	rec := recorderMap{}
+	st.Publish(rec, "stream")
+	if rec["stream.dropped"] != 20 || rec["stream.addresses"] != 10 {
+		t.Fatalf("published counters = %v", rec)
+	}
+}
+
+// recorderMap is a minimal obs.Recorder for counter assertions.
+type recorderMap map[string]int64
+
+func (m recorderMap) Count(name string, delta int64) { m[name] += delta }
+func (m recorderMap) Time(string, time.Duration)     {}
 
 // The streaming pipeline's point: emitting a long trace allocates nothing
 // after setup — memory stays O(cache geometry + batch), not O(trace).

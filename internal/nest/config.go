@@ -63,6 +63,17 @@ type RunConfig struct {
 	// it to route each worker's node accesses into that worker's TraceSink.
 	WrapWork func(worker int, work func(o, i tree.NodeID)) func(o, i tree.NodeID)
 
+	// SimWorkers sizes the trace-driven cache simulation attached to the
+	// run, when there is one (a WrapWork hook feeding a memsim Stream):
+	// <= 1 keeps the sequential simulator, > 1 asks the harness for a
+	// set-partitioned parallel simulator with that many shard workers
+	// (memsim.Config.SimWorkers; stats stay bit-identical either way —
+	// DESIGN.md §4.8). The executor itself does not simulate; it carries
+	// the dimension with the run and reports it as "nest.simworkers" so a
+	// run's telemetry pins the simulation configuration it was measured
+	// under.
+	SimWorkers int
+
 	// Recorder, when non-nil, receives the run's telemetry: the wall clock
 	// of the whole run ("nest.run"), the executor counters ("nest.tasks",
 	// "nest.steals", "nest.workers") and the merged operation counts
@@ -133,6 +144,9 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 		cfg.Recorder.Count("nest.tasks", res.Tasks)
 		cfg.Recorder.Count("nest.steals", res.Steals)
 		cfg.Recorder.Count("nest.workers", int64(res.Workers))
+		if cfg.SimWorkers > 0 {
+			cfg.Recorder.Count("nest.simworkers", int64(cfg.SimWorkers))
+		}
 		res.Stats.Record(cfg.Recorder, "nest")
 	}
 	return res, err
