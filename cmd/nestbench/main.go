@@ -14,6 +14,7 @@
 //	nestbench -exp iters                 # §4.2 iteration counts
 //	nestbench -exp inventory             # benchmark inventory (§6.1)
 //	nestbench -exp bench -variant ...    # suite under one schedule
+//	nestbench -oracle                    # semantic-equivalence smoke (§4.9)
 //
 // Observability (DESIGN.md §4.7):
 //
@@ -45,12 +46,14 @@ import (
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
+	"twist/internal/oracle"
 	"twist/internal/workloads"
 )
 
 // opts carries every flag value an experiment might honor.
 type opts struct {
 	scale      int
+	scaleSet   bool // -scale given explicitly (oracle shrinks its default)
 	n          int
 	pcN        int
 	radius     float64
@@ -86,6 +89,7 @@ var registry = []experiment{
 	{"kary", "kary: octree (8-ary) point correlation extension (§2.1 generality)", "-pcn -seed -geometry", true, kary},
 	{"iters", "iters: §4.2 iteration counts, PC", "-pcn -radius -seed", true, iters},
 	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant", false, bench},
+	{"oracle", "oracle: semantic-equivalence smoke (DESIGN.md §4.9)", "-scale -seed -workers", false, oracleSmoke},
 }
 
 func usage() {
@@ -106,6 +110,8 @@ func usage() {
 			note = "-workers >= 1 times all schedules under the work-stealing executor"
 		case "bench":
 			note = "not part of -exp all"
+		case "oracle":
+			note = "not part of -exp all; -scale defaults to 512 here (golden traces are materialized)"
 		}
 		fmt.Fprintf(tw, "  %s\t%s\t%s\n", ex.name, ex.flags, note)
 	}
@@ -130,6 +136,7 @@ func run() int {
 		simWorkers = flag.Int("simworkers", 1, "cache-simulation shard workers: <= 1 sequential, > 1 set-partitioned parallel engine (stats bit-identical either way)")
 		geometry   = flag.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
 		variant    = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
+		oracleRun  = flag.Bool("oracle", false, "shorthand for -exp oracle: semantic-equivalence smoke over the suite")
 		jsonOut    = flag.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
 		baseline   = flag.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
 		wallTol    = flag.Float64("wall-tol", 4, "noisy-signal tolerance band for -baseline (fresh within baseline/tol..baseline*tol)")
@@ -141,6 +148,15 @@ func run() int {
 	)
 	flag.Usage = usage
 	flag.Parse()
+	if *oracleRun {
+		*exp = "oracle"
+	}
+	scaleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			scaleSet = true
+		}
+	})
 
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "nestbench: "+format+"\n", args...)
@@ -159,8 +175,8 @@ func run() int {
 		experiments.SetGeometry(levels)
 	}
 	o := opts{
-		scale: *scale, n: *n, pcN: *pcN, radius: *radius, seed: *seed,
-		repeats: *repeats, workers: *workers, simWorkers: *simWorkers,
+		scale: *scale, scaleSet: scaleSet, n: *n, pcN: *pcN, radius: *radius,
+		seed: *seed, repeats: *repeats, workers: *workers, simWorkers: *simWorkers,
 		variant: v, raw: *variant,
 	}
 
@@ -569,6 +585,69 @@ func ablation(o opts) (*obs.Report, error) {
 			DetFloat("l3_twisted", r.TwistL3).
 			DetInt("l3_base_misses", r.BaseL3Misses).
 			DetInt("l3_twisted_misses", r.TwistL3Misses)
+	}
+	return rep, w.Flush()
+}
+
+// oracleSmoke runs the internal/oracle differential suite over the six
+// workloads: every engine variant (both flag modes) and a grid of parallel
+// schedules (workers × executors) must be permutation-equivalent to the
+// captured golden trace (DESIGN.md §4.9). The first failing verdict aborts
+// the run with its minimized counterexample (exit 1) — the CI-facing smoke
+// complement to the exhaustive go test suite.
+func oracleSmoke(o opts) (*obs.Report, error) {
+	if !o.scaleSet {
+		o.scale = 512 // golden traces are materialized; the timing default is too big
+	}
+	workerGrid := []int{1, 4, 8}
+	if o.workers >= 1 {
+		workerGrid = []int{1}
+		if o.workers > 1 {
+			workerGrid = append(workerGrid, o.workers)
+		}
+	}
+	variants := []nest.Variant{nest.Interchanged(), nest.Twisted(), nest.TwistedCutoff(64)}
+
+	rep := obs.NewReport("oracle", params(o, "scale", "seed", "workers"))
+	w := table()
+	fmt.Fprintln(w, "bench\tvisits\ttruncs\tcolumns\tdigest\tchecks")
+	for _, in := range workloads.Suite(o.scale, o.seed) {
+		spec := in.OracleSpec()
+		g, err := oracle.Capture(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", in.Name, err)
+		}
+		checks := 0
+		for _, v := range variants {
+			for _, fm := range []nest.FlagMode{nest.FlagSets, nest.FlagCounter} {
+				if verdict := g.CheckVariant(spec, v, fm, true); !verdict.OK {
+					return nil, fmt.Errorf("%s: %v", in.Name, verdict.Err())
+				}
+				checks++
+			}
+		}
+		for _, workers := range workerGrid {
+			for _, stealing := range []bool{false, true} {
+				cfg := nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: stealing}
+				verdict, err := g.CheckParallel(spec, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", in.Name, err)
+				}
+				if !verdict.OK {
+					return nil, fmt.Errorf("%s: %v", in.Name, verdict.Err())
+				}
+				checks++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%#016x\t%d ok\n",
+			in.Name, g.Visits(), len(g.Truncs), g.Columns(), g.Digest(), checks)
+		rep.AddRow(in.Name).
+			DetInt("visits", int64(g.Visits())).
+			DetInt("truncs", int64(len(g.Truncs))).
+			DetInt("columns", int64(g.Columns())).
+			DetUint("digest", g.Digest()).
+			DetUint("column_digest", g.ColumnDigest()).
+			DetInt("checks", int64(checks))
 	}
 	return rep, w.Flush()
 }

@@ -75,17 +75,17 @@ func TestGeometryRoundTrip(t *testing.T) {
 
 func TestParseGeometryRejects(t *testing.T) {
 	bad := []string{
-		"",                      // no levels
-		"32K",                   // missing line/ways
-		"32K/64",                // missing ways
-		"32K:8",                 // missing line
-		"32K/48:8",              // non-power-of-two line
-		"32K/64:7",              // sets not a power of two
-		"20M/64:16",             // 20480 sets: not a power of two
-		"-32K/64:8",             // negative size
-		"32K/64:8,256K/128:8",   // mixed line sizes
-		"32K/64:eight",          // non-numeric ways
-		"one/64:8",              // non-numeric size
+		"",                    // no levels
+		"32K",                 // missing line/ways
+		"32K/64",              // missing ways
+		"32K:8",               // missing line
+		"32K/48:8",            // non-power-of-two line
+		"32K/64:7",            // sets not a power of two
+		"20M/64:16",           // 20480 sets: not a power of two
+		"-32K/64:8",           // negative size
+		"32K/64:8,256K/128:8", // mixed line sizes
+		"32K/64:eight",        // non-numeric ways
+		"one/64:8",            // non-numeric size
 	}
 	for _, s := range bad {
 		if _, err := ParseGeometry(s); err == nil {

@@ -11,8 +11,8 @@ import (
 // so up to 8 shards carry distinct routing keys.
 func threeLevels() []CacheConfig {
 	return []CacheConfig{
-		{Name: "L1", SizeBytes: 1 << 10, LineBytes: 64, Ways: 2}, // 8 sets
-		{Name: "L2", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4}, // 16 sets
+		{Name: "L1", SizeBytes: 1 << 10, LineBytes: 64, Ways: 2},  // 8 sets
+		{Name: "L2", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4},  // 16 sets
 		{Name: "L3", SizeBytes: 16 << 10, LineBytes: 64, Ways: 8}, // 32 sets
 	}
 }
@@ -33,6 +33,7 @@ func randomTrace(n int, spread int, seed int64) []Addr {
 // including W greater than the routable set count (clamped) and batch sizes
 // that leave partial staged batches at drain time.
 func TestShardedMatchesSequential(t *testing.T) {
+	t.Parallel()
 	trace := randomTrace(200_000, 1<<12, 7)
 	seq := MustNew(Config{Levels: threeLevels()})
 	seq.AccessBatch(trace)
@@ -59,6 +60,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 // Warmup/measure protocol: ResetStats must drain in-flight batches first,
 // and the steady-state stats must still match the sequential engine's.
 func TestShardedResetStatsMatchesSequential(t *testing.T) {
+	t.Parallel()
 	trace := randomTrace(50_000, 1<<10, 11)
 	run := func(sim Simulator) []LevelStats {
 		sim.AccessBatch(trace)
@@ -80,6 +82,7 @@ func TestShardedResetStatsMatchesSequential(t *testing.T) {
 // The worker clamp: requesting more shards than the smallest level has sets
 // must cap at the routable key count, never spawn idle mis-routed shards.
 func TestShardedWorkerClamp(t *testing.T) {
+	t.Parallel()
 	sh, err := NewSharded(threeLevels(), 64, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +102,7 @@ func TestShardedWorkerClamp(t *testing.T) {
 // Every address must land on the shard its smallest-level set bits name, so
 // any two addresses sharing any level's set share a shard.
 func TestShardRoutingColocatesSets(t *testing.T) {
+	t.Parallel()
 	sh, err := NewSharded(threeLevels(), 8, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +124,7 @@ func TestShardRoutingColocatesSets(t *testing.T) {
 
 // Close is idempotent and Stats stay readable afterwards.
 func TestShardedCloseIdempotent(t *testing.T) {
+	t.Parallel()
 	sim := MustNew(Config{Levels: threeLevels(), SimWorkers: 4})
 	sim.AccessBatch(randomTrace(10_000, 1<<10, 5))
 	want := sim.Stats()
@@ -138,6 +143,7 @@ func TestShardedCloseIdempotent(t *testing.T) {
 // be race-clean — this is the -race coverage of the router called out in
 // the CI satellite.
 func TestStreamOverShardedCountsAllAccesses(t *testing.T) {
+	t.Parallel()
 	sim := MustNew(Config{Levels: threeLevels(), SimWorkers: 4, Batch: 128})
 	defer sim.Close()
 	st := NewStream(sim, 64)
@@ -200,6 +206,7 @@ func FuzzShardRouting(f *testing.F) {
 
 // One producer, one consumer: every batch arrives exactly once, in order.
 func TestSPSCOrderPreserved(t *testing.T) {
+	t.Parallel()
 	q := newSPSC(8)
 	const n = 10_000
 	go func() {
@@ -223,6 +230,7 @@ func TestSPSCOrderPreserved(t *testing.T) {
 }
 
 func TestSPSCTryOps(t *testing.T) {
+	t.Parallel()
 	q := newSPSC(2)
 	if _, ok := q.tryPop(); ok {
 		t.Fatal("tryPop on empty ring succeeded")

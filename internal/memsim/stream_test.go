@@ -17,6 +17,7 @@ func smallHierarchy() *Hierarchy {
 // A single-sink stream simulates the exact access order, so its stats are
 // bit-identical to feeding the hierarchy directly.
 func TestStreamMatchesDirectAccess(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	trace := make([]Addr, 100_000)
 	for k := range trace {
@@ -45,6 +46,7 @@ func TestStreamMatchesDirectAccess(t *testing.T) {
 // Merge mode: concurrent sinks interleave batches nondeterministically, but
 // no access is lost — every level's access count matches the total emitted.
 func TestStreamMergeCountsAllAccesses(t *testing.T) {
+	t.Parallel()
 	h := smallHierarchy()
 	st := NewStream(h, 64)
 	const producers, each = 8, 10_000
@@ -71,6 +73,7 @@ func TestStreamMergeCountsAllAccesses(t *testing.T) {
 // had already treated as complete. Now it is a no-op with a recorded drop
 // count.
 func TestStreamFlushAfterCloseDropsAndCounts(t *testing.T) {
+	t.Parallel()
 	h := smallHierarchy()
 	st := NewStream(h, 8)
 	sk := st.Sink()
@@ -118,6 +121,7 @@ func (m recorderMap) Time(string, time.Duration)     {}
 // The streaming pipeline's point: emitting a long trace allocates nothing
 // after setup — memory stays O(cache geometry + batch), not O(trace).
 func TestStreamEmitDoesNotAllocate(t *testing.T) {
+	t.Parallel()
 	h := smallHierarchy()
 	st := NewStream(h, 0)
 	sk := st.Sink()

@@ -1,0 +1,52 @@
+package nest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Quick-check property: every representable Variant prints a string that
+// ParseVariant inverts exactly (not just the fixed cases in nest_test.go).
+// Non-cutoff kinds carry Cutoff 0 by construction, which is what makes the
+// representation canonical.
+func TestQuickVariantRoundTrip(t *testing.T) {
+	t.Parallel()
+	prop := func(kind uint8, cutoff uint32) bool {
+		v := Variant{Kind: VariantKind(kind % 4)}
+		if v.Kind == KindTwistedCutoff {
+			v.Cutoff = int32(cutoff % math.MaxInt32)
+		}
+		rt, err := ParseVariant(v.String())
+		return err == nil && rt == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzParseVariant: arbitrary input never panics, and anything ParseVariant
+// accepts must round-trip through Variant.String — the schedule name in a
+// BENCH baseline or a flag value stays stable across print/parse cycles.
+func FuzzParseVariant(f *testing.F) {
+	for _, s := range []string{
+		"original", "interchanged", "interchange", "twisted",
+		"twisted-cutoff", "twisted-cutoff:64", " twisted ", "twisted-cutoff:-1",
+		"twisted-cutoff:9999999999999999999", "bogus", "original:1", "",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVariant(s)
+		if err != nil {
+			return
+		}
+		rt, err := ParseVariant(v.String())
+		if err != nil {
+			t.Fatalf("ParseVariant(%q) = %v, but its String %q does not reparse: %v", s, v, v, err)
+		}
+		if rt != v {
+			t.Fatalf("ParseVariant(%q) = %v, round-trips to %v", s, v, rt)
+		}
+	})
+}

@@ -25,6 +25,7 @@ func parallelPairs(t *testing.T, s Spec, v Variant, depth, workers int) []pair {
 }
 
 func TestParallelExecutesSameIterationSet(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewRandomBST(100, 11), tree.NewRandomBST(90, 12)
 	for _, irregular := range []bool{false, true} {
 		s := regularSpec(outer, inner)
@@ -44,6 +45,7 @@ func TestParallelExecutesSameIterationSet(t *testing.T) {
 // Within each column, order is still the sequential one: a column is owned
 // entirely by one task (or the sequential prefix).
 func TestParallelPreservesColumnOrder(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(63), tree.NewBalanced(63)
 	s := irregularSpec(outer, inner, 9, true, 0.6)
 	ref := runPairs(t, s, Original(), nil)
@@ -69,6 +71,7 @@ func TestParallelPreservesColumnOrder(t *testing.T) {
 }
 
 func TestParallelDepthZeroMatchesSequentialTwisted(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(31), tree.NewBalanced(31)
 	s := regularSpec(outer, inner)
 	want := runPairs(t, s, Twisted(), nil)
@@ -79,6 +82,7 @@ func TestParallelDepthZeroMatchesSequentialTwisted(t *testing.T) {
 }
 
 func TestParallelStatsCoverAllWork(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(127), tree.NewBalanced(127)
 	s := regularSpec(outer, inner)
 	s.Work = func(o, i tree.NodeID) {}
@@ -99,6 +103,7 @@ func TestParallelStatsCoverAllWork(t *testing.T) {
 }
 
 func TestParallelConfigureHook(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(63), tree.NewBalanced(63)
 	s := irregularSpec(outer, inner, 5, false, 0.8)
 	var mu sync.Mutex
@@ -125,6 +130,7 @@ func TestParallelConfigureHook(t *testing.T) {
 }
 
 func TestParallelErrors(t *testing.T) {
+	t.Parallel()
 	tr := tree.NewBalanced(3)
 	if _, err := RunParallel(Spec{Outer: tr, Inner: tr}, Twisted(), 1, 0, nil); err == nil {
 		t.Fatal("invalid spec accepted")
@@ -137,6 +143,7 @@ func TestParallelErrors(t *testing.T) {
 }
 
 func TestParallelDeepSpawnDepth(t *testing.T) {
+	t.Parallel()
 	// A spawn depth beyond the tree height leaves no tasks: everything runs
 	// in the sequential prefix.
 	outer, inner := tree.NewBalanced(7), tree.NewBalanced(7)

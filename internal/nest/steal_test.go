@@ -40,6 +40,7 @@ func stealSpecs(t *testing.T) map[string]Spec {
 // iteration set, and its merged Stats are identical to the single-worker
 // aggregate of the same decomposition (run with -race in CI).
 func TestStealingMergeMatchesSequentialAggregate(t *testing.T) {
+	t.Parallel()
 	for name, s := range stealSpecs(t) {
 		for _, v := range []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(8)} {
 			wantPairs := pairSet(runPairs(t, s, Original(), nil))
@@ -71,6 +72,7 @@ func TestStealingMergeMatchesSequentialAggregate(t *testing.T) {
 // Static and stealing executors run the identical task decomposition, so
 // their merged Stats agree exactly, at every spawn depth.
 func TestStaticAndStealingAgree(t *testing.T) {
+	t.Parallel()
 	for name, s := range stealSpecs(t) {
 		for _, depth := range []int{1, 3, DefaultSpawnDepth, 30} {
 			_, static := runWithPairs(t, s, RunConfig{Variant: Twisted(), Workers: 4, SpawnDepth: depth})
@@ -91,6 +93,7 @@ func TestStaticAndStealingAgree(t *testing.T) {
 // Every column is owned by exactly one task, so per-column iteration order
 // is the sequential one regardless of stealing.
 func TestStealingPreservesColumnOrder(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(255), tree.NewBalanced(255)
 	s := irregularSpec(outer, inner, 9, true, 0.6)
 	ref := runPairs(t, s, Original(), nil)
@@ -118,6 +121,7 @@ func TestStealingPreservesColumnOrder(t *testing.T) {
 // ForTask derives each task's Spec from its root; WrapWork tags the worker.
 // Together they must cover every executed unit exactly once.
 func TestRunWithForTaskAndWrapWork(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(127), tree.NewBalanced(127)
 	s := regularSpec(outer, inner)
 	s.Work = func(o, i tree.NodeID) {}
@@ -164,6 +168,7 @@ func TestRunWithForTaskAndWrapWork(t *testing.T) {
 // A pre-canceled context aborts promptly: the run returns ctx.Err() and the
 // partial Stats stay well below a full execution.
 func TestRunWithCancellation(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(1023), tree.NewBalanced(1023)
 	s := regularSpec(outer, inner)
 	s.Work = func(o, i tree.NodeID) {}
@@ -187,6 +192,7 @@ func TestRunWithCancellation(t *testing.T) {
 
 // Sequential RunContext honors cancellation too, returning partial Stats.
 func TestRunContextCancellation(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewBalanced(1023), tree.NewBalanced(1023)
 	s := regularSpec(outer, inner)
 	var full int64
@@ -219,6 +225,7 @@ func TestRunContextCancellation(t *testing.T) {
 }
 
 func TestDeque(t *testing.T) {
+	t.Parallel()
 	d := &deque{}
 	if _, ok := d.pop(); ok {
 		t.Fatal("pop from empty deque")

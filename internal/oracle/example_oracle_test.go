@@ -1,0 +1,25 @@
+package oracle_test
+
+import (
+	"fmt"
+
+	"twist/internal/nest"
+	"twist/internal/oracle"
+	"twist/internal/workloads"
+)
+
+// The three-line oracle check a transformation PR copies: capture the golden
+// trace of the baseline schedule, check the transformed schedule against it,
+// assert the verdict. OracleSpec freezes any adaptive pruning state first;
+// on failure, verdict.String() names the minimized counterexample sub-space.
+func Example() {
+	in := workloads.PointCorr(128, 0.4, 1)
+	spec := in.OracleSpec()
+
+	golden, _ := oracle.Capture(spec)
+	verdict := golden.CheckVariant(spec, nest.Twisted(), nest.FlagCounter, true)
+	fmt.Println(verdict.OK)
+
+	// Output:
+	// true
+}

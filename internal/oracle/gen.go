@@ -1,0 +1,174 @@
+package oracle
+
+// Seeded deterministic generators for differential fuzzing: tree shapes
+// covering the regimes the paper's analysis distinguishes (balanced,
+// degenerate chains, skewed, random BSTs, kd/vp point-set trees) and pure
+// truncation predicates (hash-based non-hereditary, size-product
+// hereditary). Everything is a pure function of its seed, so a fuzzer
+// counterexample is a single integer.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twist/internal/geom"
+	"twist/internal/kdtree"
+	"twist/internal/nest"
+	"twist/internal/tree"
+	"twist/internal/vptree"
+)
+
+// Shape enumerates generated tree shapes.
+type Shape uint8
+
+const (
+	ShapeBalanced Shape = iota
+	ShapeChain
+	ShapeBST
+	ShapeSkewed
+	ShapeKD
+	ShapeVP
+	numShapes
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeBalanced:
+		return "balanced"
+	case ShapeChain:
+		return "chain"
+	case ShapeBST:
+		return "bst"
+	case ShapeSkewed:
+		return "skewed"
+	case ShapeKD:
+		return "kd"
+	case ShapeVP:
+		return "vp"
+	}
+	return "unknown"
+}
+
+// Topology builds a deterministic tree of this shape with roughly n nodes
+// (the point-set shapes build over n points, whose leaf buckets make the
+// topology smaller). Shapes wrap modulo the shape count, so a fuzzer can
+// feed raw bytes.
+func (s Shape) Topology(n int, seed int64) *tree.Topology {
+	if n < 1 {
+		n = 1
+	}
+	switch s % numShapes {
+	case ShapeChain:
+		return tree.NewChain(n)
+	case ShapeBST:
+		return tree.NewRandomBST(n, seed)
+	case ShapeSkewed:
+		return skewed(n)
+	case ShapeKD:
+		return kdtree.MustBuild(geom.Generate(geom.Uniform, n, seed), 4).Topo
+	case ShapeVP:
+		return vptree.MustBuild(geom.Generate(geom.Clustered, n, seed), 4, seed).Topo
+	}
+	return tree.NewBalanced(n)
+}
+
+// skewed builds a left-heavy tree: each node gives three quarters of the
+// remaining nodes to its left subtree. Depth grows like log₄∕₃(n) — deeper
+// than balanced, shallower than a chain — exercising the twisting size
+// comparison on persistently unequal children.
+func skewed(n int) *tree.Topology {
+	b := tree.NewBuilder(n)
+	var build func(count int) tree.NodeID
+	build = func(count int) tree.NodeID {
+		if count == 0 {
+			return tree.Nil
+		}
+		id := b.Add()
+		lc := (count - 1) * 3 / 4
+		b.SetLeft(id, build(lc))
+		b.SetRight(id, build(count-1-lc))
+		return id
+	}
+	return b.MustBuild(build(n))
+}
+
+// PureTrunc returns a stateless truncateInner2? that rejects roughly
+// density/256 of the node pairs, keyed by seed. It is deliberately
+// non-hereditary: a pruned pair's descendants are usually not pruned, the
+// hardest case for the flag protocols.
+func PureTrunc(seed int64, density uint8) func(o, i tree.NodeID) bool {
+	s := uint64(seed)
+	d := uint64(density)
+	return func(o, i tree.NodeID) bool {
+		return mix64(visitKey(Visit{o, i})^s)&0xff < d
+	}
+}
+
+// PureTruncNode is PureTrunc for the single-index predicates (truncateOuter?
+// / truncateInner1?).
+func PureTruncNode(seed int64, density uint8) func(n tree.NodeID) bool {
+	s := uint64(seed)
+	d := uint64(density)
+	return func(n tree.NodeID) bool {
+		return mix64(uint64(uint32(n))^s)&0xff < d
+	}
+}
+
+// HereditaryTrunc prunes pairs whose subtree-size product falls below
+// threshold. Descendant pairs have strictly smaller products, so pruning is
+// hereditary — the precondition of the aggressive §4.2 subtree cut.
+func HereditaryTrunc(outer, inner *tree.Topology, threshold int64) func(o, i tree.NodeID) bool {
+	return func(o, i tree.NodeID) bool {
+		return int64(outer.Size(o))*int64(inner.Size(i)) < threshold
+	}
+}
+
+// RandomSpec derives a deterministic Spec from a seed: random shapes and
+// sizes for both trees, and one of three truncation regimes (regular, pure
+// irregular, hereditary irregular), sometimes with single-index truncation
+// stacked on top. The returned description pins every choice so a failing
+// seed is self-explanatory. All predicates are pure, as Capture requires.
+func RandomSpec(seed int64, maxNodes int) (nest.Spec, string) {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	so := Shape(rng.Intn(int(numShapes)))
+	si := Shape(rng.Intn(int(numShapes)))
+	no := rng.Intn(maxNodes) + 1
+	ni := rng.Intn(maxNodes) + 1
+	s := nest.Spec{
+		Outer: so.Topology(no, rng.Int63()),
+		Inner: si.Topology(ni, rng.Int63()),
+		Work:  func(o, i tree.NodeID) {},
+	}
+	regime := rng.Intn(3)
+	desc := fmt.Sprintf("seed=%d outer=%s/%d inner=%s/%d", seed, so, no, si, ni)
+	switch regime {
+	case 1:
+		density := uint8(rng.Intn(200))
+		s.TruncInner2 = PureTrunc(rng.Int63(), density)
+		desc += fmt.Sprintf(" trunc2=pure/%d", density)
+	case 2:
+		// A threshold within the product range prunes the small-pair fringe.
+		limit := int64(s.Outer.Size(s.Outer.Root()))*int64(s.Inner.Size(s.Inner.Root())) + 1
+		threshold := rng.Int63n(limit)
+		s.TruncInner2 = HereditaryTrunc(s.Outer, s.Inner, threshold)
+		s.Hereditary = true
+		desc += fmt.Sprintf(" trunc2=hereditary/%d", threshold)
+	default:
+		desc += " trunc2=none"
+	}
+	if rng.Intn(4) == 0 {
+		density := uint8(rng.Intn(64))
+		s.TruncOuter = PureTruncNode(rng.Int63(), density)
+		desc += fmt.Sprintf(" truncO=%d", density)
+	}
+	if rng.Intn(4) == 0 {
+		density := uint8(rng.Intn(64))
+		s.TruncInner1 = PureTruncNode(rng.Int63(), density)
+		desc += fmt.Sprintf(" truncI=%d", density)
+	}
+	return s, desc
+}

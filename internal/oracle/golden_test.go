@@ -1,0 +1,123 @@
+package oracle_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"twist/internal/oracle"
+	"twist/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the golden-trace fixtures under internal/oracle/testdata")
+
+// The fixture point: small enough that capture is instant, large enough that
+// every benchmark's truncation machinery engages. Documented (with the
+// regeneration command) in EXPERIMENTS.md.
+const (
+	goldenScale = 256
+	goldenSeed  = 1
+)
+
+// fixture is the serialized identity of one workload's golden trace.
+type fixture struct {
+	visits, truncs, columns    int
+	digest, colDigest, truncDg uint64
+}
+
+func (fx fixture) render(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Golden trace fixture for the %s benchmark at Suite(%d, %d).\n", name, goldenScale, goldenSeed)
+	b.WriteString("# Regenerate: go test ./internal/oracle -run TestGoldenTraceFixtures -update-golden\n")
+	fmt.Fprintf(&b, "visits: %d\n", fx.visits)
+	fmt.Fprintf(&b, "truncs: %d\n", fx.truncs)
+	fmt.Fprintf(&b, "columns: %d\n", fx.columns)
+	fmt.Fprintf(&b, "digest: %#016x\n", fx.digest)
+	fmt.Fprintf(&b, "column_digest: %#016x\n", fx.colDigest)
+	fmt.Fprintf(&b, "trunc_digest: %#016x\n", fx.truncDg)
+	return b.String()
+}
+
+func parseFixture(t *testing.T, data string) fixture {
+	t.Helper()
+	var fx fixture
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			t.Fatalf("malformed fixture line %q", line)
+		}
+		// Base 0 accepts both the decimal counts and the 0x-prefixed digests.
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 0, 64)
+		if err != nil {
+			t.Fatalf("fixture line %q: %v", line, err)
+		}
+		switch key {
+		case "visits":
+			fx.visits = int(n)
+		case "truncs":
+			fx.truncs = int(n)
+		case "columns":
+			fx.columns = int(n)
+		case "digest":
+			fx.digest = n
+		case "column_digest":
+			fx.colDigest = n
+		case "trunc_digest":
+			fx.truncDg = n
+		default:
+			t.Fatalf("unknown fixture key %q", key)
+		}
+	}
+	return fx
+}
+
+// TestGoldenTraceFixtures pins the golden traces of all six workloads at a
+// fixed small seed: any change to tree construction, truncation predicates,
+// or the baseline schedule shows up as a digest mismatch here before it can
+// silently shift every benchmark result.
+func TestGoldenTraceFixtures(t *testing.T) {
+	for k, name := range []string{"TJ", "MM", "PC", "NN", "KNN", "VP"} {
+		k, name := k, name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			in := workloads.Suite(goldenScale, goldenSeed)[k]
+			spec := in.OracleSpec()
+			g, err := oracle.Capture(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fixture{
+				visits:    g.Visits(),
+				truncs:    len(g.Truncs),
+				columns:   g.Columns(),
+				digest:    g.Digest(),
+				colDigest: g.ColumnDigest(),
+				truncDg:   g.TruncDigest(),
+			}
+			path := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got.render(name)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-golden)", err)
+			}
+			want := parseFixture(t, string(data))
+			if got != want {
+				t.Fatalf("golden trace drifted:\n got %+v\nwant %+v\nIf the change is intentional, regenerate: go test ./internal/oracle -run TestGoldenTraceFixtures -update-golden", got, want)
+			}
+		})
+	}
+}

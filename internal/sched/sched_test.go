@@ -14,6 +14,7 @@ func paperSpec() nest.Spec {
 }
 
 func TestRecordOriginalOrder(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	pairs, err := Record(s, nest.Original())
 	if err != nil {
@@ -34,6 +35,7 @@ func TestRecordOriginalOrder(t *testing.T) {
 // Fig 4(a) on the paper's example trees (and consistent with the Fig 4(b)
 // reuse distances pinned in internal/nest's tests).
 func TestRecordTwistedPrefix(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	pairs, err := Record(s, nest.Twisted())
 	if err != nil {
@@ -57,6 +59,7 @@ func TestRecordTwistedPrefix(t *testing.T) {
 }
 
 func TestLabels(t *testing.T) {
+	t.Parallel()
 	tr := tree.NewBalanced(30)
 	if OuterLabel(tr, tr.ByPreorder(0)) != "A" {
 		t.Fatal("first outer label not A")
@@ -70,6 +73,7 @@ func TestLabels(t *testing.T) {
 }
 
 func TestGridContainsAllPositions(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	pairs, _ := Record(s, nest.Twisted())
 	g := Grid(s.Outer, s.Inner, pairs)
@@ -85,6 +89,7 @@ func TestGridContainsAllPositions(t *testing.T) {
 }
 
 func TestGridMarksSkippedIterations(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	// Fig 6(a)'s irregular space: skip (B, 2) and descendants.
 	s.TruncInner2 = func(o, i tree.NodeID) bool { return o == 1 && i == 1 }
@@ -102,6 +107,7 @@ func TestGridMarksSkippedIterations(t *testing.T) {
 }
 
 func TestOrderRendering(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	pairs, _ := Record(s, nest.Original())
 	o := Order(s.Outer, s.Inner, pairs, 7)
@@ -114,6 +120,7 @@ func TestOrderRendering(t *testing.T) {
 }
 
 func TestCheckDetectsViolations(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	ref, _ := Record(s, nest.Original())
 	tw, _ := Record(s, nest.Twisted())
@@ -138,6 +145,7 @@ func TestCheckDetectsViolations(t *testing.T) {
 }
 
 func TestRecordPreservesUserWork(t *testing.T) {
+	t.Parallel()
 	s := paperSpec()
 	var n int
 	s.Work = func(o, i tree.NodeID) { n++ }
@@ -151,6 +159,7 @@ func TestRecordPreservesUserWork(t *testing.T) {
 }
 
 func TestRecordPropagatesSpecError(t *testing.T) {
+	t.Parallel()
 	if _, err := Record(nest.Spec{}, nest.Original()); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
@@ -161,6 +170,7 @@ func TestRecordPropagatesSpecError(t *testing.T) {
 // regular and irregular (outer-dependent truncation) spaces, for all four
 // variants and both executors. Run with -race in CI.
 func TestCheckShardedParallelTraces(t *testing.T) {
+	t.Parallel()
 	outer, inner := tree.NewRandomBST(300, 1), tree.NewRandomBST(280, 2)
 	// Hereditary truncation (monotone down both trees), so the executed
 	// iteration set is schedule-independent per the template's semantics.
@@ -244,6 +254,7 @@ func TestCheckShardedParallelTraces(t *testing.T) {
 }
 
 func TestCheckShardedDetectsViolations(t *testing.T) {
+	t.Parallel()
 	ref := []Pair{{O: 0, I: 0}, {O: 0, I: 1}, {O: 1, I: 0}}
 	ok := [][]Pair{{{O: 0, I: 0}, {O: 0, I: 1}}, {{O: 1, I: 0}}}
 	if err := CheckSharded(ref, ok); err != nil {

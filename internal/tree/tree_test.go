@@ -11,6 +11,7 @@ import (
 func PaperOuter() *Topology { return NewPerfect(2) }
 
 func TestNewPerfectShape(t *testing.T) {
+	t.Parallel()
 	tr := NewPerfect(2)
 	if tr.Len() != 7 {
 		t.Fatalf("perfect height-2 tree has %d nodes, want 7", tr.Len())
@@ -33,6 +34,7 @@ func TestNewPerfectShape(t *testing.T) {
 }
 
 func TestPreorderNumberingMatchesIDsForBalanced(t *testing.T) {
+	t.Parallel()
 	// NewBalanced assigns IDs in preorder; Order must be the identity.
 	for _, n := range []int{0, 1, 2, 3, 7, 10, 63, 100, 1023} {
 		tr := NewBalanced(n)
@@ -54,6 +56,7 @@ func TestPreorderNumberingMatchesIDsForBalanced(t *testing.T) {
 }
 
 func TestNextIsOrderPlusSize(t *testing.T) {
+	t.Parallel()
 	tr := NewRandomBST(500, 42)
 	for id := NodeID(0); int(id) < tr.Len(); id++ {
 		if tr.Next(id) != tr.Order(id)+tr.Size(id) {
@@ -63,6 +66,7 @@ func TestNextIsOrderPlusSize(t *testing.T) {
 }
 
 func TestChainDevolvesToList(t *testing.T) {
+	t.Parallel()
 	tr := NewChain(10)
 	if tr.Height() != 9 {
 		t.Fatalf("chain height = %d, want 9", tr.Height())
@@ -86,6 +90,7 @@ func TestChainDevolvesToList(t *testing.T) {
 }
 
 func TestEmptyTree(t *testing.T) {
+	t.Parallel()
 	tr := NewBalanced(0)
 	if tr.Len() != 0 || tr.Root() != Nil {
 		t.Fatalf("empty tree: Len=%d Root=%d", tr.Len(), tr.Root())
@@ -102,6 +107,7 @@ func TestEmptyTree(t *testing.T) {
 }
 
 func TestSizeOfNilIsZero(t *testing.T) {
+	t.Parallel()
 	tr := NewBalanced(3)
 	if tr.Size(Nil) != 0 {
 		t.Fatalf("Size(Nil) = %d", tr.Size(Nil))
@@ -109,6 +115,7 @@ func TestSizeOfNilIsZero(t *testing.T) {
 }
 
 func TestPreorderVisitsAllNodesOnce(t *testing.T) {
+	t.Parallel()
 	tr := NewRandomBST(777, 7)
 	order := tr.Preorder(nil)
 	if len(order) != tr.Len() {
@@ -127,6 +134,7 @@ func TestPreorderVisitsAllNodesOnce(t *testing.T) {
 }
 
 func TestAncestors(t *testing.T) {
+	t.Parallel()
 	tr := NewPerfect(3) // 15 nodes, preorder IDs
 	root := tr.Root()
 	for id := NodeID(0); int(id) < tr.Len(); id++ {
@@ -156,6 +164,7 @@ func TestAncestors(t *testing.T) {
 }
 
 func TestLeavesAreHalfOfPerfectTree(t *testing.T) {
+	t.Parallel()
 	tr := NewPerfect(4) // 31 nodes, 16 leaves
 	leaves := tr.Leaves(nil)
 	if len(leaves) != 16 {
@@ -169,6 +178,7 @@ func TestLeavesAreHalfOfPerfectTree(t *testing.T) {
 }
 
 func TestRandomBSTValidAcrossSeeds(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 10; seed++ {
 		tr := NewRandomBST(200, seed)
 		if err := tr.Validate(); err != nil {
@@ -181,6 +191,7 @@ func TestRandomBSTValidAcrossSeeds(t *testing.T) {
 }
 
 func TestBuilderRejectsUnreachableNodes(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder(2)
 	root := b.Add()
 	b.Add() // orphan: never linked
@@ -190,6 +201,7 @@ func TestBuilderRejectsUnreachableNodes(t *testing.T) {
 }
 
 func TestBuilderRejectsCycle(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder(2)
 	a := b.Add()
 	c := b.Add()
@@ -203,6 +215,7 @@ func TestBuilderRejectsCycle(t *testing.T) {
 // Property: for any n, NewBalanced(n) is valid, has n nodes, height O(log n),
 // and subtree sizes sum correctly at every node.
 func TestQuickBalancedInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint16) bool {
 		n := int(raw % 2048)
 		tr := NewBalanced(n)
@@ -234,6 +247,7 @@ func TestQuickBalancedInvariants(t *testing.T) {
 
 // Property: Validate accepts every Builder-produced random topology.
 func TestQuickRandomBSTInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, raw uint16) bool {
 		n := int(raw%1024) + 1
 		tr := NewRandomBST(n, seed)

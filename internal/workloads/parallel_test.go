@@ -8,43 +8,55 @@ import (
 
 // Every benchmark must produce its sequential checksum under the parallel
 // executors, and — thanks to ForTask sharding and per-task pruning bounds —
-// merged Stats identical across worker counts (run with -race in CI).
+// merged Stats identical across worker counts (run with -race in CI). Each
+// bench gets its own parallel subtest with its own Suite instance, so the
+// subtests share no mutable state and the checksum comparisons cannot
+// interleave across benches.
 func TestSuiteParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-worker suite sweep")
 	}
-	for _, in := range Suite(512, 3) {
-		if in.ForTask == nil {
-			t.Fatalf("%s: no ForTask sharding", in.Name)
-		}
-		want := in.Run(nest.Twisted(), nest.FlagCounter)
-		wantSum := in.Checksum()
-		base, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: 1, Stealing: true})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := in.Checksum(); got != wantSum {
-			t.Fatalf("%s: 1-worker checksum %#x != sequential %#x", in.Name, got, wantSum)
-		}
-		if base.Stats.Work > want.Work*3 {
-			t.Fatalf("%s: decomposed run did %d work vs sequential %d — sharded bounds too loose",
-				in.Name, base.Stats.Work, want.Work)
-		}
-		for _, workers := range []int{2, 4} {
-			for _, stealing := range []bool{false, true} {
-				res, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: workers, Stealing: stealing})
+	grid := []struct {
+		workers  int
+		stealing bool
+	}{
+		{2, false}, {2, true}, {4, false}, {4, true}, {8, true},
+	}
+	for k, name := range suiteNames {
+		k, name := k, name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			in := Suite(512, 3)[k]
+			if in.ForTask == nil {
+				t.Fatalf("%s: no ForTask sharding", in.Name)
+			}
+			want := in.Run(nest.Twisted(), nest.FlagCounter)
+			wantSum := in.Checksum()
+			base, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: 1, Stealing: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := in.Checksum(); got != wantSum {
+				t.Fatalf("1-worker checksum %#x != sequential %#x", got, wantSum)
+			}
+			if base.Stats.Work > want.Work*3 {
+				t.Fatalf("decomposed run did %d work vs sequential %d — sharded bounds too loose",
+					base.Stats.Work, want.Work)
+			}
+			for _, g := range grid {
+				res, err := in.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: g.workers, Stealing: g.stealing})
 				if err != nil {
 					t.Fatal(err)
 				}
 				if got := in.Checksum(); got != wantSum {
-					t.Fatalf("%s w=%d stealing=%v: checksum %#x != sequential %#x",
-						in.Name, workers, stealing, got, wantSum)
+					t.Fatalf("w=%d stealing=%v: checksum %#x != sequential %#x",
+						g.workers, g.stealing, got, wantSum)
 				}
 				if res.Stats != base.Stats {
-					t.Fatalf("%s w=%d stealing=%v: merged stats differ from 1-worker run:\n got %v\nwant %v",
-						in.Name, workers, stealing, res.Stats, base.Stats)
+					t.Fatalf("w=%d stealing=%v: merged stats differ from 1-worker run:\n got %v\nwant %v",
+						g.workers, g.stealing, res.Stats, base.Stats)
 				}
 			}
-		}
+		})
 	}
 }

@@ -105,6 +105,21 @@ func (in *Instance) Run(v nest.Variant, fm nest.FlagMode) nest.Stats {
 	return e.Stats
 }
 
+// OracleSpec returns the Spec the semantic-equivalence oracle should check
+// for this instance (internal/oracle): it runs the instance once under the
+// baseline schedule so adaptive pruning state — the nearest-neighbor bounds
+// that tighten as work executes — converges, then hands back the Spec with
+// that state frozen. The oracle replaces Work with its own recorder, so
+// captures and checks never mutate workload state again: the truncation
+// predicate becomes a pure (and, for the dual-tree bounds, still hereditary)
+// function of (o, i), which is the premise of the oracle's
+// permutation-equivalence model (DESIGN.md §4.9). For the stateless spaces
+// (TJ, MM, PC) the warm-up run changes nothing.
+func (in *Instance) OracleSpec() nest.Spec {
+	in.Run(nest.Original(), nest.FlagCounter)
+	return in.Spec
+}
+
 // RunWith executes the instance under the parallel executor, wiring the
 // instance's ForTask sharding into cfg (unless the caller set its own) and
 // folding ExtraOps into the merged Stats.
