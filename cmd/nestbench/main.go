@@ -33,8 +33,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -92,10 +94,9 @@ var registry = []experiment{
 	{"oracle", "oracle: semantic-equivalence smoke (DESIGN.md §4.9)", "-scale -seed -workers", false, oracleSmoke},
 }
 
-func usage() {
-	w := os.Stderr
+func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, "Usage: nestbench [flags]\n\nFlags:\n")
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 	fmt.Fprintf(w, "\nExperiments and the flags each honors (all others are ignored):\n")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "  experiment\thonored flags\tnotes")
@@ -120,57 +121,79 @@ func usage() {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the whole program behind main, parameterized for tests. Exit-code
+// vocabulary: 0 success, 1 runtime failure (an experiment, baseline check,
+// or output file failed), 2 usage error (bad flags, unknown experiment,
+// invalid flag combinations — always accompanied by the usage text on
+// stderr).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nestbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
-		scale      = flag.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
-		n          = flag.Int("n", 1024, "tree size for fig5")
-		pcN        = flag.Int("pcn", 8192, "PC input size for fig10/ablation/kary/iters")
-		radius     = flag.Float64("radius", 0.4, "PC correlation radius")
-		seed       = flag.Int64("seed", 42, "workload seed")
-		repeats    = flag.Int("repeats", 3, "wall-clock repetitions (best is kept)")
-		workers    = flag.Int("workers", 0, "parallel dimension (see -h flag matrix): 0 = off")
-		simWorkers = flag.Int("simworkers", 1, "cache-simulation shard workers: <= 1 sequential, > 1 set-partitioned parallel engine (stats bit-identical either way)")
-		geometry   = flag.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
-		variant    = flag.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
-		oracleRun  = flag.Bool("oracle", false, "shorthand for -exp oracle: semantic-equivalence smoke over the suite")
-		jsonOut    = flag.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
-		baseline   = flag.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
-		wallTol    = flag.Float64("wall-tol", 4, "noisy-signal tolerance band for -baseline (fresh within baseline/tol..baseline*tol)")
-		wallFloor  = flag.Float64("wall-floor", 0.05, "ignore noisy drift below this absolute difference (seconds for wall clocks)")
-		strictWall = flag.Bool("strict-wall", false, "treat wall-clock-only drift as a failure (exit 1), not a warning")
-		telemetry  = flag.String("telemetry", "", "stream telemetry events as JSON lines to this file (\"-\" = stderr)")
-		cpuProf    = flag.String("cpuprofile", "", "capture a pprof CPU profile of the whole run to this file")
-		memProf    = flag.String("memprofile", "", "capture a pprof heap profile after the run to this file")
+		exp        = fs.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
+		scale      = fs.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
+		n          = fs.Int("n", 1024, "tree size for fig5")
+		pcN        = fs.Int("pcn", 8192, "PC input size for fig10/ablation/kary/iters")
+		radius     = fs.Float64("radius", 0.4, "PC correlation radius")
+		seed       = fs.Int64("seed", 42, "workload seed")
+		repeats    = fs.Int("repeats", 3, "wall-clock repetitions (best is kept)")
+		workers    = fs.Int("workers", 0, "parallel dimension (see -h flag matrix): 0 = off")
+		simWorkers = fs.Int("simworkers", 1, "cache-simulation shard workers: <= 1 sequential, > 1 set-partitioned parallel engine (stats bit-identical either way)")
+		geometry   = fs.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
+		variant    = fs.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
+		oracleRun  = fs.Bool("oracle", false, "shorthand for -exp oracle: semantic-equivalence smoke over the suite")
+		jsonOut    = fs.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
+		baseline   = fs.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
+		wallTol    = fs.Float64("wall-tol", 4, "noisy-signal tolerance band for -baseline (fresh within baseline/tol..baseline*tol)")
+		wallFloor  = fs.Float64("wall-floor", 0.05, "ignore noisy drift below this absolute difference (seconds for wall clocks)")
+		strictWall = fs.Bool("strict-wall", false, "treat wall-clock-only drift as a failure (exit 1), not a warning")
+		telemetry  = fs.String("telemetry", "", "stream telemetry events as JSON lines to this file (\"-\" = stderr)")
+		cpuProf    = fs.String("cpuprofile", "", "capture a pprof CPU profile of the whole run to this file")
+		memProf    = fs.String("memprofile", "", "capture a pprof heap profile after the run to this file")
 	)
-	flag.Usage = usage
-	flag.Parse()
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		// The flag package already printed the error and called fs.Usage.
+		return 2
+	}
 	if *oracleRun {
 		*exp = "oracle"
 	}
 	scaleSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "scale" {
 			scaleSet = true
 		}
 	})
 
-	fail := func(format string, args ...any) int {
-		fmt.Fprintf(os.Stderr, "nestbench: "+format+"\n", args...)
+	// usageFail is for errors the usage text explains (unknown experiment,
+	// invalid flag values or combinations): message + usage, exit 2.
+	usageFail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "nestbench: "+format+"\n\n", args...)
+		usage(fs, stderr)
 		return 2
+	}
+	// fail is for runtime errors (filesystem, profiles, telemetry): the
+	// flags were fine, the run failed — exit 1, no usage wall.
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "nestbench: "+format+"\n", args...)
+		return 1
 	}
 
 	v, err := nest.ParseVariant(*variant)
 	if err != nil {
-		return fail("%v", err)
+		return usageFail("%v", err)
 	}
 	if *geometry != "" {
 		levels, err := memsim.ParseGeometry(*geometry)
 		if err != nil {
-			return fail("%v", err)
+			return usageFail("%v", err)
 		}
 		experiments.SetGeometry(levels)
 	}
@@ -187,10 +210,10 @@ func run() int {
 		}
 	}
 	if len(selected) == 0 {
-		return fail("unknown experiment %q", *exp)
+		return usageFail("unknown experiment %q", *exp)
 	}
 	if *baseline != "" && len(selected) != 1 {
-		return fail("-baseline needs a single experiment (-exp %s selects %d)", *exp, len(selected))
+		return usageFail("-baseline needs a single experiment (-exp %s selects %d)", *exp, len(selected))
 	}
 
 	// Telemetry sinks: every experiment aggregates into a fresh Memory
@@ -198,7 +221,7 @@ func run() int {
 	// streams every event as JSON lines.
 	var jsonl *obs.JSONLines
 	if *telemetry != "" {
-		w := os.Stderr
+		var w io.Writer = stderr
 		if *telemetry != "-" {
 			f, err := os.Create(*telemetry)
 			if err != nil {
@@ -225,12 +248,12 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
+				fmt.Fprintf(stderr, "nestbench: %v\n", err)
 				return
 			}
 			defer f.Close()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "nestbench: %v\n", err)
+				fmt.Fprintf(stderr, "nestbench: %v\n", err)
 			}
 		}()
 	}
@@ -243,14 +266,14 @@ func run() int {
 		} else {
 			experiments.SetRecorder(mem)
 		}
-		fmt.Printf("== %s ==\n", ex.title)
+		fmt.Fprintf(stdout, "== %s ==\n", ex.title)
 		rep, err := ex.run(o)
 		experiments.SetRecorder(nil)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nestbench: %s: %v\n", ex.name, err)
+			fmt.Fprintf(stderr, "nestbench: %s: %v\n", ex.name, err)
 			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if rep == nil {
 			continue
 		}
@@ -267,7 +290,7 @@ func run() int {
 			if err := rep.WriteFile(path); err != nil {
 				return fail("%v", err)
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
 		}
 
 		if *baseline != "" {
@@ -276,9 +299,9 @@ func run() int {
 				return fail("%v", err)
 			}
 			verdict, diffs := obs.Compare(base, rep, obs.CompareOptions{Tolerance: *wallTol, Floor: *wallFloor})
-			fmt.Printf("baseline check (%s): %v\n", *baseline, verdict)
+			fmt.Fprintf(stdout, "baseline check (%s): %v\n", *baseline, verdict)
 			for _, d := range diffs {
-				fmt.Printf("  %s\n", d)
+				fmt.Fprintf(stdout, "  %s\n", d)
 			}
 			switch verdict {
 			case obs.DetMismatch:
@@ -287,7 +310,7 @@ func run() int {
 				if *strictWall {
 					exit = 1
 				} else {
-					fmt.Println("  (wall-clock drift only; pass -strict-wall to fail on this)")
+					fmt.Fprintln(stdout, "  (wall-clock drift only; pass -strict-wall to fail on this)")
 				}
 			}
 		}

@@ -1,0 +1,110 @@
+// Command twistd is the long-running serving daemon over the twist engine:
+// an HTTP/JSON API exposing run, misscurve, transform, and oracle jobs with
+// a content-addressed result cache, request coalescing, bounded admission,
+// and graceful drain (internal/serve; DESIGN.md §4.10).
+//
+// Usage:
+//
+//	twistd [-addr :7457] [-queue 64] [-workers N] [-cache 256]
+//	       [-job-timeout 60s] [-drain-timeout 30s] [-telemetry file.jsonl]
+//
+// Endpoints:
+//
+//	POST /v1/run        POST /v1/misscurve
+//	POST /v1/transform  POST /v1/oracle
+//	GET  /healthz       GET  /readyz       GET  /metrics
+//
+// On SIGTERM/SIGINT the daemon stops accepting work (/readyz turns 503),
+// finishes every admitted job within -drain-timeout, and exits 0 on a clean
+// drain, 1 otherwise.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twist/internal/obs"
+	"twist/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("twistd", flag.ExitOnError)
+	addr := fs.String("addr", ":7457", "listen address")
+	queue := fs.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+	workers := fs.Int("workers", 0, "job worker count (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 256, "result cache entries (negative disables caching)")
+	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "per-job execution deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	telemetry := fs.String("telemetry", "", "append telemetry events as JSON lines to this file")
+	fs.Parse(os.Args[1:])
+
+	log.SetPrefix("twistd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	cfg := serve.Config{
+		Queue:        *queue,
+		Workers:      *workers,
+		CacheEntries: *cache,
+		JobTimeout:   *jobTimeout,
+	}
+	if *telemetry != "" {
+		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Printf("open telemetry file: %v", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.Recorder = obs.NewJSONLines(f)
+	}
+	s := serve.New(cfg)
+	defer s.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (queue=%d workers=%d cache=%d)", *addr, *queue, *workers, *cache)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (Shutdown happens on
+		// the signal path), so any error is fatal.
+		log.Printf("serve: %v", err)
+		return 1
+	case sig := <-sigc:
+		log.Printf("received %v, draining (budget %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	s.BeginDrain() // stop admitting before closing the listener
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+		// Fall through to the job drain: admitted jobs may still finish.
+	}
+	if err := s.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "twistd: drained cleanly")
+	return 0
+}

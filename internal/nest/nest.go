@@ -144,6 +144,19 @@ func (m FlagMode) String() string {
 	return "unknown"
 }
 
+// ParseFlagMode parses a flag-mode name as printed by FlagMode.String —
+// "sets" or "counter". It is the single flag-parsing entry point shared by
+// the command-line tools and the serving layer.
+func ParseFlagMode(s string) (FlagMode, error) {
+	switch strings.TrimSpace(s) {
+	case "sets":
+		return FlagSets, nil
+	case "counter":
+		return FlagCounter, nil
+	}
+	return 0, fmt.Errorf("nest: unknown flag mode %q (want sets or counter)", s)
+}
+
 // Exec executes one Spec under the transformed schedules. An Exec is not safe
 // for concurrent use; create one per goroutine.
 type Exec struct {

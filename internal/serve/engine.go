@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"twist/internal/memsim"
+	"twist/internal/nest"
+	"twist/internal/obs"
+	"twist/internal/oracle"
+	"twist/internal/transform"
+	"twist/internal/workloads"
+)
+
+// This file is the serve↔engine boundary: one exported *Job function per
+// kind, each a plain library call with no serving machinery attached. The
+// daemon's responses embed exactly the JSON encoding of these return values
+// — that equality is the bit-identical-response contract the differential
+// test enforces.
+
+// RunResult is the result of a run job.
+type RunResult struct {
+	// Echo of the normalized spec, so a result is self-describing.
+	Workload   string `json:"workload"`
+	Variant    string `json:"variant"`
+	Scale      int    `json:"scale"`
+	Seed       int64  `json:"seed"`
+	Workers    int    `json:"workers"`
+	FlagMode   string `json:"flag_mode"`
+	SimWorkers int    `json:"sim_workers"`
+	Geometry   string `json:"geometry"`
+
+	// Checksum is the workload's result checksum in obs.FormatUint form —
+	// identical across every schedule and worker count for one instance.
+	Checksum string `json:"checksum"`
+
+	// Stats are the merged engine operation counts (deterministic across
+	// worker counts for a fixed spawn depth); Ops is their weighted total
+	// under the instruction model.
+	Stats nest.Stats `json:"stats"`
+	Ops   int64      `json:"ops"`
+
+	// Tasks is the parallel task count (1 for a sequential run).
+	Tasks int64 `json:"tasks"`
+
+	// MissRates are the simulated per-level cache statistics of the traced
+	// sequential run under the spec's geometry (warmup pass, stats reset,
+	// measured pass — the steady-state protocol of internal/experiments).
+	MissRates []LevelMissRate `json:"miss_rates"`
+}
+
+// LevelMissRate is one cache level's simulated statistics.
+type LevelMissRate struct {
+	Level     string  `json:"level"`
+	Accesses  int64   `json:"accesses"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Rate      float64 `json:"rate"`
+}
+
+// RunJob executes a run job directly (the library-call equivalent of POST
+// /v1/run). The spec is normalized in place.
+func RunJob(ctx context.Context, s *RunSpec) (*RunResult, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	out, err := s.exec(ctx, obs.Nop())
+	if err != nil {
+		return nil, err
+	}
+	return out.(*RunResult), nil
+}
+
+func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
+	in, err := workloads.ByName(s.Workload, s.Scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	v, err := nest.ParseVariant(s.Variant)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := nest.ParseFlagMode(s.FlagMode)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
+		Workers: s.Workers, FlagMode: s.FlagMode, SimWorkers: s.SimWorkers,
+		Geometry: s.Geometry,
+	}
+
+	// Phase 1: the engine run under the requested executor. Merged Stats
+	// are deterministic across worker counts (fixed spawn depth), so the
+	// response body does not depend on scheduling.
+	if s.Workers <= 1 {
+		in.Reset()
+		e := nest.MustNew(in.Spec)
+		e.Flags = fm
+		if err := e.RunContext(ctx, v); err != nil {
+			return nil, err
+		}
+		e.Stats.ExtraOps = in.ExtraOps()
+		if rec != nil {
+			e.Stats.Record(rec, "nest")
+		}
+		res.Stats = e.Stats
+		res.Tasks = 1
+	} else {
+		in.Reset()
+		e := nest.MustNew(in.Spec)
+		e.Flags = fm
+		r, err := e.RunWith(nest.RunConfig{
+			Variant:  v,
+			Workers:  s.Workers,
+			Stealing: true,
+			Ctx:      ctx,
+			ForTask:  in.ForTask,
+			Recorder: rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Stats.ExtraOps = in.ExtraOps()
+		res.Stats = r.Stats
+		res.Tasks = r.Tasks
+	}
+	res.Ops = res.Stats.Ops()
+	res.Checksum = obs.FormatUint(in.Checksum())
+
+	// Phase 2: simulated miss rates from the traced *sequential* run — one
+	// sink, so the simulated access order (and thus every counter) is a
+	// pure function of the spec, independent of the engine worker count.
+	levels, err := memsim.ParseGeometry(s.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	sim := memsim.MustNew(memsim.Config{Levels: levels, SimWorkers: s.SimWorkers})
+	defer sim.Close()
+	tracedRun := func() error {
+		st := memsim.NewStream(sim, 0)
+		sk := st.Sink()
+		in.Reset()
+		e := nest.MustNew(in.TracedSpec(sk.Emit))
+		e.Flags = fm
+		err := e.RunContext(ctx, v)
+		st.Close()
+		return err
+	}
+	if err := tracedRun(); err != nil { // warmup
+		return nil, err
+	}
+	sim.ResetStats()
+	if err := tracedRun(); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		sim.Publish(rec, "serve.memsim")
+	}
+	for _, ls := range sim.Stats() {
+		res.MissRates = append(res.MissRates, LevelMissRate{
+			Level: ls.Name, Accesses: ls.Accesses, Misses: ls.Misses,
+			Evictions: ls.Evictions, Rate: ls.MissRate(),
+		})
+	}
+	return res, nil
+}
+
+// MissCurveResult is the result of a misscurve job.
+type MissCurveResult struct {
+	// Echo of the normalized spec.
+	Workload  string `json:"workload"`
+	Variant   string `json:"variant"`
+	Scale     int    `json:"scale"`
+	Seed      int64  `json:"seed"`
+	LineBytes int    `json:"line_bytes"`
+
+	// Histogram summary over line-granular stack distances.
+	Accesses      int64   `json:"accesses"`
+	DistinctLines int     `json:"distinct_lines"`
+	ColdMisses    int64   `json:"cold_misses"`
+	MaxDistance   int     `json:"max_distance"`
+	MeanDistance  float64 `json:"mean_distance"`
+
+	// Points is the predicted miss-ratio curve, one entry per requested
+	// capacity in request order.
+	Points []MissCurvePoint `json:"points"`
+}
+
+// MissCurvePoint is the Mattson prediction at one cache capacity.
+type MissCurvePoint struct {
+	CapacityLines   int     `json:"capacity_lines"`
+	CapacityBytes   int64   `json:"capacity_bytes"`
+	PredictedMisses int64   `json:"predicted_misses"`
+	MissRatio       float64 `json:"miss_ratio"`
+}
+
+// MissCurveJob executes a misscurve job directly (the library-call
+// equivalent of POST /v1/misscurve). The spec is normalized in place.
+func MissCurveJob(ctx context.Context, s *MissCurveSpec) (*MissCurveResult, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	out, err := s.exec(ctx, obs.Nop())
+	if err != nil {
+		return nil, err
+	}
+	return out.(*MissCurveResult), nil
+}
+
+func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
+	in, err := workloads.ByName(s.Workload, s.Scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	v, err := nest.ParseVariant(s.Variant)
+	if err != nil {
+		return nil, err
+	}
+
+	ra := memsim.NewReuseAnalyzer()
+	h := memsim.NewHistogram()
+	line := memsim.Addr(s.LineBytes)
+	in.Reset()
+	e := nest.MustNew(in.TracedSpec(func(a memsim.Addr) {
+		h.Add(ra.Access(a / line))
+	}))
+	if err := e.RunContext(ctx, v); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Count("serve.misscurve.accesses", h.Total())
+		rec.Count("serve.misscurve.distinct_lines", int64(ra.Distinct()))
+	}
+
+	res := &MissCurveResult{
+		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
+		LineBytes:     s.LineBytes,
+		Accesses:      h.Total(),
+		DistinctLines: ra.Distinct(),
+		ColdMisses:    h.InfiniteCount(),
+		MaxDistance:   h.Max(),
+		MeanDistance:  h.Mean(),
+	}
+	for _, c := range s.Capacities {
+		res.Points = append(res.Points, MissCurvePoint{
+			CapacityLines:   c,
+			CapacityBytes:   int64(c) * int64(s.LineBytes),
+			PredictedMisses: memsim.PredictMisses(h, c),
+			MissRatio:       memsim.PredictMissRatio(h, c),
+		})
+	}
+	return res, nil
+}
+
+// TransformResult is the result of a transform job.
+type TransformResult struct {
+	// OuterFunc and InnerFunc are the annotated pair's function names;
+	// OuterIndex and InnerIndex their index parameter names.
+	OuterFunc  string `json:"outer_func"`
+	InnerFunc  string `json:"inner_func"`
+	OuterIndex string `json:"outer_index"`
+	InnerIndex string `json:"inner_index"`
+
+	// Irregular reports whether the template's inner truncation depends on
+	// the outer index (the paper's irregular case, §4).
+	Irregular bool `json:"irregular"`
+
+	// Source is the generated Go source file holding the requested
+	// schedule variants.
+	Source string `json:"source"`
+}
+
+// TransformJob executes a transform job directly (the library-call
+// equivalent of POST /v1/transform). The spec is normalized in place.
+func TransformJob(ctx context.Context, s *TransformSpec) (*TransformResult, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	out, err := s.exec(ctx, obs.Nop())
+	if err != nil {
+		return nil, err
+	}
+	return out.(*TransformResult), nil
+}
+
+func (s *TransformSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := transform.ParseFile("input.go", []byte(s.Source))
+	if err != nil {
+		return nil, err
+	}
+	var vs []nest.Variant
+	for _, name := range s.Variants {
+		v, err := nest.ParseVariant(name)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+	}
+	src, err := transform.GenerateVariants(t, vs)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Count("serve.transform.bytes", int64(len(src)))
+	}
+	return &TransformResult{
+		OuterFunc:  t.Outer.Name.Name,
+		InnerFunc:  t.Inner.Name.Name,
+		OuterIndex: t.OName,
+		InnerIndex: t.IName,
+		Irregular:  t.Irregular(),
+		Source:     string(src),
+	}, nil
+}
+
+// OracleResult is the result of an oracle job.
+type OracleResult struct {
+	// Echo of the normalized spec.
+	Workload string `json:"workload"`
+	Scale    int    `json:"scale"`
+	Seed     int64  `json:"seed"`
+	Variant  string `json:"variant"`
+	FlagMode string `json:"flag_mode"`
+	Subtree  bool   `json:"subtree"`
+	Workers  int    `json:"workers"`
+	Stealing bool   `json:"stealing"`
+
+	// Golden-trace summary: visit and column counts plus the order-,
+	// column-order-, and truncation-sensitive digests (obs.FormatUint).
+	GoldenVisits  int    `json:"golden_visits"`
+	GoldenColumns int    `json:"golden_columns"`
+	Digest        string `json:"digest"`
+	ColumnDigest  string `json:"column_digest"`
+	TruncDigest   string `json:"trunc_digest"`
+
+	// OK mirrors Verdict.OK; Detail is the human-readable verdict line
+	// (including the minimized counterexample for a failing check); Verdict
+	// is the full structured verdict.
+	OK      bool            `json:"ok"`
+	Detail  string          `json:"detail"`
+	Verdict *oracle.Verdict `json:"verdict"`
+}
+
+// OracleJob executes an oracle job directly (the library-call equivalent of
+// POST /v1/oracle). The spec is normalized in place.
+func OracleJob(ctx context.Context, s *OracleSpec) (*OracleResult, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	out, err := s.exec(ctx, obs.Nop())
+	if err != nil {
+		return nil, err
+	}
+	return out.(*OracleResult), nil
+}
+
+func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
+	in, err := workloads.ByName(s.Workload, s.Scale, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	v, err := nest.ParseVariant(s.Variant)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := nest.ParseFlagMode(s.FlagMode)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := in.OracleSpec()
+	g, err := oracle.Capture(spec)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Count("serve.oracle.golden_visits", int64(g.Visits()))
+	}
+	var verdict *oracle.Verdict
+	if s.Workers == 0 {
+		verdict = g.CheckVariant(spec, v, fm, !s.NoSubtree)
+	} else {
+		verdict, err = g.CheckParallel(spec, nest.RunConfig{
+			Variant:  v,
+			Workers:  s.Workers,
+			Stealing: s.Stealing,
+			Ctx:      ctx,
+			Recorder: rec,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &OracleResult{
+		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed, Variant: s.Variant,
+		FlagMode: s.FlagMode, Subtree: !s.NoSubtree,
+		Workers: s.Workers, Stealing: s.Stealing,
+		GoldenVisits:  g.Visits(),
+		GoldenColumns: g.Columns(),
+		Digest:        obs.FormatUint(g.Digest()),
+		ColumnDigest:  obs.FormatUint(g.ColumnDigest()),
+		TruncDigest:   obs.FormatUint(g.TruncDigest()),
+		OK:            verdict.OK,
+		Detail:        verdict.String(),
+		Verdict:       verdict,
+	}, nil
+}
+
+// decodeSpec builds the Spec type for a kind, for the HTTP layer's JSON
+// decoding. Unknown kinds return an error rather than a nil Spec.
+func decodeSpec(k Kind) (Spec, error) {
+	switch k {
+	case KindRun:
+		return &RunSpec{}, nil
+	case KindMissCurve:
+		return &MissCurveSpec{}, nil
+	case KindTransform:
+		return &TransformSpec{}, nil
+	case KindOracle:
+		return &OracleSpec{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown job kind %q", k)
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden HTTP fixtures, mirroring the oracle fixtures convention
+// (internal/oracle/golden_test.go): each job kind has one canonical request
+// whose full response — elapsed_ns zeroed, the only timing field — is
+// committed under testdata/. Regenerate after an intentional format or
+// engine change with:
+//
+//	go test ./internal/serve -run TestGoldenResponses -update-golden
+//
+// and review the diff: it is exactly the externally-visible API change.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden HTTP fixtures under testdata/")
+
+const (
+	goldenScale = 256
+	goldenSeed  = 1
+)
+
+// goldenJobs returns the canonical request per kind.
+func goldenJobs() []struct {
+	kind Kind
+	spec any
+} {
+	return []struct {
+		kind Kind
+		spec any
+	}{
+		{KindRun, RunSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{KindMissCurve, MissCurveSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{KindTransform, TransformSpec{Source: diffTemplateSrc}},
+		{KindOracle, OracleSpec{Workload: "MM", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+	}
+}
+
+func TestGoldenResponses(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 16})
+	for _, job := range goldenJobs() {
+		job := job
+		t.Run(string(job.kind), func(t *testing.T) {
+			t.Parallel()
+			status, body := postJob(t, ts.URL, job.kind, job.spec)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, body)
+			}
+			env := decodeEnvelope(t, body)
+			env.ElapsedNS = 0 // the one timing field in the envelope
+			got, err := json.MarshalIndent(env, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", string(job.kind)+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v — regenerate with -update-golden", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response for %s drifted from %s\ngot:\n%s\nwant:\n%s\nIf the change is intentional, regenerate with -update-golden.",
+					job.kind, path, got, want)
+			}
+		})
+	}
+}

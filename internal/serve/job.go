@@ -1,0 +1,386 @@
+// Package serve is the production serving layer over the engine: a
+// long-running HTTP/JSON daemon (cmd/twistd) that exposes the repository's
+// four capabilities as job kinds —
+//
+//	run       — workload × variant × scale × seed → engine statistics,
+//	            result checksum, and simulated per-level miss rates
+//	misscurve — reuse-distance histogram of a traced run → predicted
+//	            miss-ratio curve across cache capacities (Mattson one-pass)
+//	transform — an annotated Go nested-recursion template → the generated
+//	            schedule variants (paper §5, internal/transform)
+//	oracle    — workload spec + schedule under test → permutation-equivalence
+//	            verdict with a minimized counterexample (DESIGN.md §4.9)
+//
+// The layer is deliberately production-shaped rather than a thin mux: every
+// job is content-addressed by a canonical spec digest and served from an LRU
+// result cache; identical concurrent requests coalesce onto one in-flight
+// execution; admission goes through a bounded queue feeding a fixed worker
+// pool (full queue → HTTP 429 + Retry-After); per-job deadlines and request
+// cancellation propagate into the executor (nest.RunConfig.Ctx /
+// Exec.RunContext) and the memsim stream; shutdown drains admitted jobs; and
+// /healthz, /readyz, and /metrics expose liveness, drain state, and the
+// obs.Recorder-backed telemetry (DESIGN.md §4.10).
+//
+// The serving contract is bit-identical results: the "result" field of every
+// response is exactly the JSON encoding of the equivalent direct library
+// call (RunJob, MissCurveJob, TransformJob, OracleJob) — the cache, the
+// coalescer, and the transport add nothing and remove nothing. A
+// differential test enforces this across the full workload × variant ×
+// executor grid.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"twist/internal/memsim"
+	"twist/internal/nest"
+	"twist/internal/obs"
+	"twist/internal/workloads"
+)
+
+// Kind names one of the four job families the daemon serves.
+type Kind string
+
+// The four job kinds, each with its own endpoint under /v1/.
+const (
+	KindRun       Kind = "run"
+	KindMissCurve Kind = "misscurve"
+	KindTransform Kind = "transform"
+	KindOracle    Kind = "oracle"
+)
+
+// Admission guardrails: a serving daemon must bound the work one request can
+// demand. Scales above these limits belong in the offline harness
+// (cmd/nestbench), not behind an HTTP deadline.
+const (
+	// MaxScale bounds the suite scale of run and misscurve jobs.
+	MaxScale = 1 << 17
+	// MaxOracleScale bounds oracle jobs, which materialize golden traces.
+	MaxOracleScale = 1 << 13
+	// MaxWorkers bounds the engine worker count a job may request.
+	MaxWorkers = 64
+	// MaxSimWorkers bounds the cache-simulation shard workers.
+	MaxSimWorkers = 64
+	// MaxSourceBytes bounds the template source of a transform job.
+	MaxSourceBytes = 1 << 20
+	// MaxCapacities bounds the capacity grid of a misscurve job.
+	MaxCapacities = 64
+	// MaxCapacityLines bounds each capacity of a misscurve job (in lines).
+	MaxCapacityLines = 1 << 24
+)
+
+// DefaultGeometry is the simulated hierarchy run jobs use unless the spec
+// names one: the same scaled-down default as internal/experiments (2K L1,
+// 16K L2, 128K L3), which reaches the paper's beyond-LLC regime at
+// service-friendly scales.
+const DefaultGeometry = "2K/64:8,16K/64:8,128K/64:16"
+
+// Spec is one job's parameter set. Implementations are the four *Spec
+// types; the set is closed (normalize/exec are unexported), which is what
+// lets the digest double as a complete content address.
+type Spec interface {
+	// Kind reports the job family.
+	Kind() Kind
+	// Normalize applies defaults in place and validates; after it returns
+	// nil the spec is canonical, so equal jobs have equal digests.
+	Normalize() error
+	// exec runs the job against the engine, recording telemetry into rec.
+	exec(ctx context.Context, rec obs.Recorder) (any, error)
+}
+
+// Digest returns the canonical content address of a normalized spec: the
+// hex SHA-256 of the job kind and the spec's canonical JSON encoding.
+// Normalize must have succeeded first; two requests coalesce (and share a
+// cache entry) exactly when their digests are equal.
+func Digest(s Spec) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Specs are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(s.Kind()))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunSpec parameterizes a run job: execute one suite workload under one
+// schedule and report the engine statistics, the result checksum, and the
+// simulated per-level miss rates.
+type RunSpec struct {
+	// Workload is the benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
+	Workload string `json:"workload"`
+	// Variant is the schedule in nest.ParseVariant form (original,
+	// interchanged, twisted, twisted-cutoff:N). Default twisted.
+	Variant string `json:"variant,omitempty"`
+	// Scale is the suite scale parameter (workloads.ByName). Default 1024.
+	Scale int `json:"scale,omitempty"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers selects the executor: <= 1 runs the sequential engine, > 1
+	// the work-stealing parallel executor at that worker count (merged
+	// stats are deterministic either way).
+	Workers int `json:"workers,omitempty"`
+	// FlagMode is the truncation-flag representation (sets, counter).
+	// Default counter.
+	FlagMode string `json:"flag_mode,omitempty"`
+	// SimWorkers sizes the cache simulation: <= 1 sequential, > 1
+	// set-partitioned shards (stats bit-identical either way, §4.8).
+	SimWorkers int `json:"sim_workers,omitempty"`
+	// Geometry is the simulated hierarchy in memsim.ParseGeometry form.
+	// Default DefaultGeometry.
+	Geometry string `json:"geometry,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *RunSpec) Kind() Kind { return KindRun }
+
+// Normalize implements Spec.
+func (s *RunSpec) Normalize() error {
+	if err := normalizeWorkload(&s.Workload); err != nil {
+		return err
+	}
+	if err := normalizeVariant(&s.Variant); err != nil {
+		return err
+	}
+	if err := normalizeScale(&s.Scale, MaxScale); err != nil {
+		return err
+	}
+	if s.Workers <= 1 {
+		s.Workers = 1
+	}
+	if s.Workers > MaxWorkers {
+		return fmt.Errorf("serve: workers %d exceeds the limit %d", s.Workers, MaxWorkers)
+	}
+	if err := normalizeFlagMode(&s.FlagMode); err != nil {
+		return err
+	}
+	if s.SimWorkers <= 1 {
+		s.SimWorkers = 1
+	}
+	if s.SimWorkers > MaxSimWorkers {
+		return fmt.Errorf("serve: sim_workers %d exceeds the limit %d", s.SimWorkers, MaxSimWorkers)
+	}
+	return normalizeGeometry(&s.Geometry)
+}
+
+// MissCurveSpec parameterizes a misscurve job: trace one workload under one
+// schedule, build its reuse-distance histogram over cache lines, and
+// evaluate the predicted miss-ratio curve at each capacity.
+type MissCurveSpec struct {
+	// Workload is the benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
+	Workload string `json:"workload"`
+	// Variant is the schedule in nest.ParseVariant form. Default twisted.
+	Variant string `json:"variant,omitempty"`
+	// Scale is the suite scale parameter. Default 1024.
+	Scale int `json:"scale,omitempty"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Capacities are the fully-associative LRU capacities (in lines) the
+	// curve is evaluated at. Default 8,32,128,512,2048,8192,32768.
+	Capacities []int `json:"capacities,omitempty"`
+	// LineBytes is the line size distances are measured in; a power of two.
+	// Default 64.
+	LineBytes int `json:"line_bytes,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *MissCurveSpec) Kind() Kind { return KindMissCurve }
+
+// Normalize implements Spec.
+func (s *MissCurveSpec) Normalize() error {
+	if err := normalizeWorkload(&s.Workload); err != nil {
+		return err
+	}
+	if err := normalizeVariant(&s.Variant); err != nil {
+		return err
+	}
+	if err := normalizeScale(&s.Scale, MaxScale); err != nil {
+		return err
+	}
+	if len(s.Capacities) == 0 {
+		s.Capacities = []int{8, 32, 128, 512, 2048, 8192, 32768}
+	}
+	if len(s.Capacities) > MaxCapacities {
+		return fmt.Errorf("serve: %d capacities exceeds the limit %d", len(s.Capacities), MaxCapacities)
+	}
+	for _, c := range s.Capacities {
+		if c <= 0 || c > MaxCapacityLines {
+			return fmt.Errorf("serve: capacity %d lines out of range 1..%d", c, MaxCapacityLines)
+		}
+	}
+	if s.LineBytes == 0 {
+		s.LineBytes = 64
+	}
+	if s.LineBytes < 8 || s.LineBytes > 4096 || s.LineBytes&(s.LineBytes-1) != 0 {
+		return fmt.Errorf("serve: line_bytes %d must be a power of two in 8..4096", s.LineBytes)
+	}
+	return nil
+}
+
+// TransformSpec parameterizes a transform job: run the §5 source-to-source
+// tool on an annotated template and return the generated schedule variants.
+type TransformSpec struct {
+	// Source is a complete Go source file holding the //twist:outer and
+	// //twist:inner annotated pair (internal/transform).
+	Source string `json:"source"`
+	// Variants selects the schedule families to emit, in nest.ParseVariant
+	// form; empty means every family. Original is rejected — the input
+	// template already is that schedule.
+	Variants []string `json:"variants,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *TransformSpec) Kind() Kind { return KindTransform }
+
+// Normalize implements Spec.
+func (s *TransformSpec) Normalize() error {
+	if s.Source == "" {
+		return fmt.Errorf("serve: transform source must be non-empty")
+	}
+	if len(s.Source) > MaxSourceBytes {
+		return fmt.Errorf("serve: transform source %d bytes exceeds the limit %d", len(s.Source), MaxSourceBytes)
+	}
+	if len(s.Variants) == 0 {
+		s.Variants = nil // canonical form for "every family"
+		return nil
+	}
+	for k := range s.Variants {
+		v, err := nest.ParseVariant(s.Variants[k])
+		if err != nil {
+			return fmt.Errorf("serve: %v", err)
+		}
+		if v.Kind == nest.KindOriginal {
+			return fmt.Errorf("serve: transform cannot emit the original schedule (the input template is it)")
+		}
+		s.Variants[k] = v.String()
+	}
+	return nil
+}
+
+// OracleSpec parameterizes an oracle job: capture the golden trace of one
+// workload and check a schedule against it (DESIGN.md §4.9).
+type OracleSpec struct {
+	// Workload is the benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
+	Workload string `json:"workload"`
+	// Scale is the suite scale parameter. Default 256 — oracle jobs
+	// materialize golden traces, so the default stays small.
+	Scale int `json:"scale,omitempty"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Variant is the schedule under test. Default twisted.
+	Variant string `json:"variant,omitempty"`
+	// FlagMode is the truncation-flag representation for sequential checks
+	// (sets, counter). Default counter.
+	FlagMode string `json:"flag_mode,omitempty"`
+	// NoSubtree disables the §4.2 subtree-truncation optimization in
+	// sequential checks (the default checks the optimized schedule).
+	NoSubtree bool `json:"no_subtree,omitempty"`
+	// Workers selects the check: 0 checks the sequential engine schedule;
+	// >= 1 checks the parallel executor at that worker count
+	// (oracle.Trace.CheckParallel, including column-confinement).
+	Workers int `json:"workers,omitempty"`
+	// Stealing selects the work-stealing executor for parallel checks.
+	Stealing bool `json:"stealing,omitempty"`
+}
+
+// Kind implements Spec.
+func (s *OracleSpec) Kind() Kind { return KindOracle }
+
+// Normalize implements Spec.
+func (s *OracleSpec) Normalize() error {
+	if err := normalizeWorkload(&s.Workload); err != nil {
+		return err
+	}
+	if s.Scale <= 0 {
+		s.Scale = 256
+	}
+	if s.Scale > MaxOracleScale {
+		return fmt.Errorf("serve: oracle scale %d exceeds the limit %d", s.Scale, MaxOracleScale)
+	}
+	if err := normalizeVariant(&s.Variant); err != nil {
+		return err
+	}
+	if err := normalizeFlagMode(&s.FlagMode); err != nil {
+		return err
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("serve: workers %d must be >= 0", s.Workers)
+	}
+	if s.Workers > MaxWorkers {
+		return fmt.Errorf("serve: workers %d exceeds the limit %d", s.Workers, MaxWorkers)
+	}
+	if s.Workers == 0 && s.Stealing {
+		return fmt.Errorf("serve: stealing requires workers >= 1")
+	}
+	return nil
+}
+
+// normalizeWorkload canonicalizes a suite benchmark name.
+func normalizeWorkload(name *string) error {
+	canon, err := workloads.CanonicalName(*name)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	*name = canon
+	return nil
+}
+
+// normalizeVariant canonicalizes a schedule name ("" means twisted).
+func normalizeVariant(variant *string) error {
+	if *variant == "" {
+		*variant = nest.Twisted().String()
+		return nil
+	}
+	v, err := nest.ParseVariant(*variant)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	*variant = v.String()
+	return nil
+}
+
+// normalizeScale defaults a suite scale and enforces the admission limit.
+func normalizeScale(scale *int, limit int) error {
+	if *scale <= 0 {
+		*scale = 1024
+	}
+	if *scale > limit {
+		return fmt.Errorf("serve: scale %d exceeds the limit %d", *scale, limit)
+	}
+	return nil
+}
+
+// normalizeFlagMode canonicalizes a flag-mode name ("" means counter).
+func normalizeFlagMode(mode *string) error {
+	if *mode == "" {
+		*mode = nest.FlagCounter.String()
+		return nil
+	}
+	fm, err := nest.ParseFlagMode(*mode)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	*mode = fm.String()
+	return nil
+}
+
+// normalizeGeometry canonicalizes a cache geometry ("" means
+// DefaultGeometry).
+func normalizeGeometry(geometry *string) error {
+	if *geometry == "" {
+		*geometry = DefaultGeometry
+		return nil
+	}
+	levels, err := memsim.ParseGeometry(*geometry)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	*geometry = memsim.FormatGeometry(levels)
+	return nil
+}

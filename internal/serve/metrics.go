@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is how many recent job latencies the quantile window keeps.
+const latWindow = 1024
+
+// latencies is a sliding window of recent job durations, from which the
+// /metrics endpoint derives p50/p99. Quantiles are inherently noisy signals
+// (obs.Row.Noisy), so a bounded window — O(1) memory for an arbitrarily
+// long-lived daemon — is the right fidelity.
+type latencies struct {
+	mu      sync.Mutex
+	samples [latWindow]time.Duration
+	n       int // valid samples (saturates at latWindow)
+	idx     int // next write position
+}
+
+// observe records one job duration.
+func (l *latencies) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.idx] = d
+	l.idx = (l.idx + 1) % latWindow
+	if l.n < latWindow {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantiles evaluates the given quantiles (0..1) over the window, by
+// nearest-rank on a sorted copy. With no samples every quantile is 0.
+func (l *latencies) quantiles(qs ...float64) []time.Duration {
+	l.mu.Lock()
+	buf := make([]time.Duration, l.n)
+	copy(buf, l.samples[:l.n])
+	l.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(buf) == 0 {
+		return out
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	for k, q := range qs {
+		rank := int(q*float64(len(buf))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(buf) {
+			rank = len(buf) - 1
+		}
+		out[k] = buf[rank]
+	}
+	return out
+}

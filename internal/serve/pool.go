@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull to 429 + Retry-After
+// and ErrDraining to 503; both also propagate to coalesced followers of a
+// flight that never got admitted.
+var (
+	// ErrQueueFull reports that the bounded admission queue was full — the
+	// backpressure signal.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining reports that the server has begun graceful shutdown and
+	// admits no new jobs.
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+)
+
+// pool is the bounded admission queue plus fixed worker set every job
+// executes on. The queue bounds memory (a full queue rejects instead of
+// growing), the workers bound concurrent engine executions.
+type pool struct {
+	queue chan func()
+
+	mu     sync.RWMutex
+	closed bool
+
+	wg sync.WaitGroup
+
+	depth int64 // queued-but-not-started jobs, for the metrics endpoint
+	dmu   sync.Mutex
+}
+
+// newPool starts workers goroutines draining a queue of the given capacity.
+func newPool(workers, queueCap int) *pool {
+	p := &pool{queue: make(chan func(), queueCap)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				p.dmu.Lock()
+				p.depth--
+				p.dmu.Unlock()
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job without blocking: a full queue returns ErrQueueFull
+// and a draining pool ErrDraining. The RLock makes Submit-vs-Close safe:
+// Close takes the write lock, so no Submit can be between its closed check
+// and its channel send when the channel closes.
+func (p *pool) Submit(job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- job:
+		p.dmu.Lock()
+		p.depth++
+		p.dmu.Unlock()
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth reports the number of admitted jobs not yet started.
+func (p *pool) Depth() int64 {
+	p.dmu.Lock()
+	defer p.dmu.Unlock()
+	return p.depth
+}
+
+// Close stops admission. Idempotent; safe to race with Submit.
+func (p *pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.queue)
+}
+
+// Drain closes admission and waits for every admitted job to finish, or for
+// ctx. Jobs still queued keep running to completion — graceful shutdown
+// completes admitted work rather than dropping it.
+func (p *pool) Drain(ctx context.Context) error {
+	p.Close()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

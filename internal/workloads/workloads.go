@@ -17,6 +17,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"twist/internal/dualtree"
@@ -498,6 +499,51 @@ func knnChecksum(kn *dualtree.KNN, n int) uint64 {
 	return h
 }
 
+// Names returns the suite benchmark abbreviations in suite order.
+func Names() []string {
+	return []string{"TJ", "MM", "PC", "NN", "KNN", "VP"}
+}
+
+// CanonicalName maps a benchmark name, case-insensitively, to its canonical
+// suite abbreviation, or reports an error naming the valid set.
+func CanonicalName(name string) (string, error) {
+	for _, n := range Names() {
+		if strings.EqualFold(name, n) {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("workloads: unknown workload %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
+// ByName builds one suite benchmark at the common scale parameter n, using
+// the same per-benchmark sizing rules as Suite. The name must be canonical
+// (see CanonicalName).
+func ByName(name string, n int, seed int64) (*Instance, error) {
+	switch name {
+	case "TJ":
+		tj := n / 4
+		if tj < 64 {
+			tj = 64
+		}
+		return TreeJoin(tj, seed), nil
+	case "MM":
+		m := n / 64
+		if m < 32 {
+			m = 32
+		}
+		return MatMul(m, seed), nil
+	case "PC":
+		return PointCorr(n, 0.4, seed), nil
+	case "NN":
+		return NearestNeighbor(n, seed), nil
+	case "KNN":
+		return KNearest(n, 5, seed), nil
+	case "VP":
+		return VPKNearest(n, 10, seed), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
 // Suite returns the paper's six benchmarks at a common scale parameter n.
 // Per-benchmark sizes are chosen so each reaches the paper's interesting
 // regime at comparable cost: TJ performs Θ(n²) work so it runs at n/4 nodes,
@@ -506,20 +552,13 @@ func knnChecksum(kn *dualtree.KNN, n int) uint64 {
 // scales makes per-query traversals exceed the simulated LLC — the paper's
 // large-input regime of Fig 9).
 func Suite(n int, seed int64) []*Instance {
-	tj := n / 4
-	if tj < 64 {
-		tj = 64
+	out := make([]*Instance, 0, len(Names()))
+	for _, name := range Names() {
+		in, err := ByName(name, n, seed)
+		if err != nil {
+			panic(err) // unreachable: Names() yields only canonical names
+		}
+		out = append(out, in)
 	}
-	m := n / 64
-	if m < 32 {
-		m = 32
-	}
-	return []*Instance{
-		TreeJoin(tj, seed),
-		MatMul(m, seed),
-		PointCorr(n, 0.4, seed),
-		NearestNeighbor(n, seed),
-		KNearest(n, 5, seed),
-		VPKNearest(n, 10, seed),
-	}
+	return out
 }
