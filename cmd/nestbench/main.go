@@ -49,6 +49,7 @@ import (
 	"twist/internal/nest"
 	"twist/internal/obs"
 	"twist/internal/oracle"
+	"twist/internal/transform/algebra"
 	"twist/internal/workloads"
 )
 
@@ -92,6 +93,7 @@ var registry = []experiment{
 	{"iters", "iters: §4.2 iteration counts, PC", "-pcn -radius -seed", true, iters},
 	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant", false, bench},
 	{"oracle", "oracle: semantic-equivalence smoke (DESIGN.md §4.9)", "-scale -seed -workers", false, oracleSmoke},
+	{"schedules", "schedules: algebra enumeration, legality × oracle", "-scale -seed", false, schedulesExp},
 }
 
 func usage(fs *flag.FlagSet, w io.Writer) {
@@ -112,6 +114,8 @@ func usage(fs *flag.FlagSet, w io.Writer) {
 		case "bench":
 			note = "not part of -exp all"
 		case "oracle":
+			note = "not part of -exp all; -scale defaults to 512 here (golden traces are materialized)"
+		case "schedules":
 			note = "not part of -exp all; -scale defaults to 512 here (golden traces are materialized)"
 		}
 		fmt.Fprintf(tw, "  %s\t%s\t%s\n", ex.name, ex.flags, note)
@@ -143,7 +147,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "parallel dimension (see -h flag matrix): 0 = off")
 		simWorkers = fs.Int("simworkers", 1, "cache-simulation shard workers: <= 1 sequential, > 1 set-partitioned parallel engine (stats bit-identical either way)")
 		geometry   = fs.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
-		variant    = fs.String("variant", "twisted", "schedule for -exp bench (original, interchanged, twisted, twisted-cutoff[:N])")
+		variant    = fs.String("variant", "twisted", "schedule for -exp bench, legacy variant form (original, interchanged, twisted, twisted-cutoff[:N]); alias for -schedule")
+		schedule   = fs.String("schedule", "", "schedule for -exp bench as an algebra expression, e.g. \"stripmine(64)\u2218twist(flagged)\" (mutually exclusive with -variant)")
 		oracleRun  = fs.Bool("oracle", false, "shorthand for -exp oracle: semantic-equivalence smoke over the suite")
 		jsonOut    = fs.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
 		baseline   = fs.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
@@ -165,10 +170,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *oracleRun {
 		*exp = "oracle"
 	}
-	scaleSet := false
+	scaleSet, variantSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "scale" {
+		switch f.Name {
+		case "scale":
 			scaleSet = true
+		case "variant":
+			variantSet = true
 		}
 	})
 
@@ -186,10 +194,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	v, err := nest.ParseVariant(*variant)
+	expr := *variant
+	if *schedule != "" {
+		if variantSet {
+			return usageFail("-schedule and -variant are mutually exclusive")
+		}
+		expr = *schedule
+	}
+	sched, err := algebra.ParseSchedule(expr)
 	if err != nil {
 		return usageFail("%v", err)
 	}
+	if sched.InlineDepth() > 0 {
+		return usageFail("inline(K) is a code-generation transformation; the engine cannot execute %q (use cmd/twist -schedules)", expr)
+	}
+	v := sched.Variant()
 	if *geometry != "" {
 		levels, err := memsim.ParseGeometry(*geometry)
 		if err != nil {
@@ -200,7 +219,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := opts{
 		scale: *scale, scaleSet: scaleSet, n: *n, pcN: *pcN, radius: *radius,
 		seed: *seed, repeats: *repeats, workers: *workers, simWorkers: *simWorkers,
-		variant: v, raw: *variant,
+		variant: v, raw: expr,
 	}
 
 	var selected []experiment
@@ -673,6 +692,42 @@ func oracleSmoke(o opts) (*obs.Report, error) {
 			DetInt("checks", int64(checks))
 	}
 	return rep, w.Flush()
+}
+
+// schedulesExp enumerates the schedule algebra over the suite
+// (experiments.Schedules): legality verdicts with the violated dependence
+// witnesses, and an oracle differential over every legal lowering.
+func schedulesExp(o opts) (*obs.Report, error) {
+	if !o.scaleSet {
+		o.scale = 512 // golden traces are materialized; the timing default is too big
+	}
+	rows, err := experiments.Schedules(o.scale, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := obs.NewReport("schedules", params(o, "scale", "seed"))
+	w := table()
+	fmt.Fprintln(w, "bench\tschedule\tvariant\tlegal\toracle\twitness")
+	for _, r := range rows {
+		legal, check := "yes", "ok"
+		if !r.Legal {
+			legal, check = "no", "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Workload, r.Schedule, r.Variant, legal, check, r.Witness)
+		rep.AddRow(r.Workload+" "+r.Schedule).
+			DetString("variant", r.Variant).
+			DetInt("legal", boolInt(r.Legal)).
+			DetInt("oracle_ok", boolInt(r.OracleOK))
+	}
+	return rep, w.Flush()
+}
+
+// boolInt renders a verdict as a deterministic report integer.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func kary(o opts) (*obs.Report, error) {

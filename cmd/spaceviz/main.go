@@ -18,13 +18,14 @@ import (
 
 	"twist/internal/nest"
 	"twist/internal/sched"
+	"twist/internal/transform/algebra"
 	"twist/internal/tree"
 )
 
 func main() {
 	var (
 		height    = flag.Int("height", 2, "height of both perfect trees (2 gives the paper's 7-node example)")
-		schedule  = flag.String("schedule", "all", "schedule: all, or any nest.ParseVariant name (original, interchanged, twisted, twisted-cutoff[:N])")
+		schedule  = flag.String("schedule", "all", "schedule: all, or any schedule-algebra expression (original, interchanged, twisted, twisted-cutoff[:N], stripmine(N)\u2218twist(flagged), ...)")
 		cutoff    = flag.Int("cutoff", -1, "if >= 0, render twisted-with-cutoff instead of parameterless twisting")
 		irregular = flag.Bool("irregular", false, "apply the Fig 6(a) truncation: skip (B,2) and its descendants")
 		order     = flag.Bool("order", false, "also print the schedule as a (label,label) sequence")
@@ -44,12 +45,12 @@ func main() {
 	if *schedule == "all" {
 		variants = []nest.Variant{nest.Original(), nest.Interchanged(), nest.Twisted()}
 	} else {
-		v, err := nest.ParseVariant(*schedule)
+		sc, err := algebra.ParseSchedule(*schedule)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spaceviz: %v\n", err)
 			os.Exit(2)
 		}
-		variants = []nest.Variant{v}
+		variants = []nest.Variant{sc.Variant()}
 	}
 	if *cutoff >= 0 {
 		// Back-compat: -cutoff upgrades the plain twisted schedule.

@@ -1,9 +1,8 @@
 // twist is the source-to-source transformation tool of paper §5: given a Go
 // file containing a nested recursion annotated with //twist:outer and
 // //twist:inner, it sanity-checks the template, detects irregular
-// (outer-dependent) truncation, and emits a file with the interchanged and
-// parameterless-twisted schedules (including Fig 6(b) truncation-flag code
-// when required).
+// (outer-dependent) truncation, and emits a file with the requested
+// schedules (including Fig 6(b) truncation-flag code when required).
 //
 // Usage:
 //
@@ -12,9 +11,14 @@
 //	twist -in join.go -stdout          # print to stdout
 //	twist -in join.go -variants twisted
 //	                                   # emit only one schedule family
+//	twist -in join.go -schedules 'inline(2)∘twist(flagged)'
+//	                                   # schedule-algebra expressions,
+//	                                   # legality-checked against the
+//	                                   # template's dependence witnesses
 //
-// See examples/transform for an annotated corpus and internal/transform for
-// the template rules.
+// See examples/transform for an annotated corpus, internal/transform for
+// the template rules, and internal/transform/algebra for the schedule
+// grammar.
 package main
 
 import (
@@ -23,16 +27,17 @@ import (
 	"os"
 	"strings"
 
-	"twist/internal/nest"
 	"twist/internal/transform"
+	"twist/internal/transform/algebra"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input Go file containing the annotated template (required)")
-		out      = flag.String("out", "", "output file (default: <in>_twisted.go)")
-		stdout   = flag.Bool("stdout", false, "write generated code to stdout instead of a file")
-		variants = flag.String("variants", "", "comma-separated schedule families to emit (interchanged, twisted, twisted-cutoff); empty means all")
+		in        = flag.String("in", "", "input Go file containing the annotated template (required)")
+		out       = flag.String("out", "", "output file (default: <in>_twisted.go)")
+		stdout    = flag.Bool("stdout", false, "write generated code to stdout instead of a file")
+		variants  = flag.String("variants", "", "comma-separated schedule families to emit (interchanged, twisted, twisted-cutoff); empty means all")
+		schedules = flag.String("schedules", "", "comma-separated schedule-algebra expressions to emit, e.g. 'inline(2)∘twist(flagged)'; subsumes -variants")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -40,14 +45,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var vs []nest.Variant
-	if *variants != "" {
-		for _, name := range strings.Split(*variants, ",") {
-			v, err := nest.ParseVariant(strings.TrimSpace(name))
+	var scheds []algebra.Schedule
+	for _, raw := range []string{*variants, *schedules} {
+		if raw == "" {
+			continue
+		}
+		for _, expr := range strings.Split(raw, ",") {
+			s, err := algebra.ParseSchedule(strings.TrimSpace(expr))
 			if err != nil {
 				fatal(err)
 			}
-			vs = append(vs, v)
+			scheds = append(scheds, s)
 		}
 	}
 	src, err := os.ReadFile(*in)
@@ -58,7 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	code, err := transform.GenerateVariants(tmpl, vs)
+	code, err := algebra.GenerateSchedules(tmpl, scheds)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,9 @@
 //
 //	go run ./cmd/twist -in examples/transform/join.go
 //	go run ./cmd/twist -in examples/transform/prune.go
+//	go run ./cmd/twist -in examples/transform/join.go \
+//	    -out examples/transform/join_inline.go \
+//	    -schedules 'inline(2)∘twist(flagged)'
 //
 // Run with:
 //
@@ -82,7 +85,16 @@ func main() {
 	visitJoin = record(&got)
 	JoinOuterTwistedCutoff(outer, inner, 16)
 	checkSchedules("join/twisted-cutoff", ref, got)
-	fmt.Printf("join:  %d iterations agree across original, interchanged, twisted, cutoff\n", len(ref))
+
+	// inline(2)∘twist(flagged): the schedule-algebra composition — the
+	// twisted order with the inner recursion unrolled two levels per call.
+	// Inlining reshapes the code, not the schedule, so the same soundness
+	// conditions must hold.
+	got = nil
+	visitJoin = record(&got)
+	JoinOuterTwistedInline2(outer, inner)
+	checkSchedules("join/inline(2)∘twist(flagged)", ref, got)
+	fmt.Printf("join:  %d iterations agree across original, interchanged, twisted, cutoff, inlined\n", len(ref))
 
 	// --- irregular template: value-pruned join --------------------------
 	ref = nil

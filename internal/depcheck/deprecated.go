@@ -1,0 +1,124 @@
+package depcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The dynamic analysis above certifies schedule soundness; this file is the
+// static half of the package's checking duties: a source-level rule that
+// keeps the repository itself off its own deprecated API surface. The
+// deprecated symbols stay exported for external callers and for the public
+// facade, but new internal code must use the replacements — the schedule
+// algebra instead of raw variant parsing, Exec.RunWith instead of
+// RunParallel, memsim.New instead of the legacy hierarchy constructors.
+
+// DeprecatedSymbols maps import path → banned identifiers → the replacement
+// to name in the report.
+var DeprecatedSymbols = map[string]map[string]string{
+	"twist/internal/nest": {
+		"ParseVariant": "internal/transform/algebra.ParseSchedule + Schedule.Variant",
+		"RunParallel":  "Exec.RunWith with a RunConfig",
+	},
+	"twist/internal/memsim": {
+		"NewHierarchy":     "memsim.New",
+		"MustNewHierarchy": "memsim.MustNew",
+		"Default":          "memsim.MustNew(memsim.DefaultGeometry())",
+	},
+}
+
+// DeprecatedUse is one qualified reference to a deprecated symbol.
+type DeprecatedUse struct {
+	Pos         token.Position // file:line:col of the selector
+	Symbol      string         // e.g. "nest.ParseVariant"
+	Replacement string         // what new code should call instead
+}
+
+func (u DeprecatedUse) String() string {
+	return fmt.Sprintf("%s: %s is deprecated; use %s", u.Pos, u.Symbol, u.Replacement)
+}
+
+// ScanDeprecated parses every .go file under root (skipping testdata
+// directories) and returns each qualified use of a symbol in
+// DeprecatedSymbols. It resolves import aliases per file, so renamed
+// imports are caught; uses inside the symbol's own package are unqualified
+// and therefore — deliberately — not reported. Callers apply their own
+// allowlist (the public facade and the algebra's legacy-name backend are
+// legitimate users).
+func ScanDeprecated(root string) ([]DeprecatedUse, error) {
+	var uses []DeprecatedUse
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("depcheck: %v", err)
+		}
+		uses = append(uses, scanFile(fset, file)...)
+		return nil
+	})
+	return uses, err
+}
+
+// scanFile reports the deprecated qualified references in one parsed file.
+func scanFile(fset *token.FileSet, file *ast.File) []DeprecatedUse {
+	// Local name → banned-symbol table for the deprecated imports only.
+	banned := make(map[string]map[string]string)
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		symbols, ok := DeprecatedSymbols[path]
+		if !ok {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		banned[name] = symbols
+	}
+	if len(banned) == 0 {
+		return nil
+	}
+	var uses []DeprecatedUse
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		replacement, ok := banned[pkg.Name][sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		uses = append(uses, DeprecatedUse{
+			Pos:         fset.Position(sel.Pos()),
+			Symbol:      pkg.Name + "." + sel.Sel.Name,
+			Replacement: replacement,
+		})
+		return true
+	})
+	return uses
+}

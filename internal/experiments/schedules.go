@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twist/internal/nest"
+	"twist/internal/oracle"
+	"twist/internal/transform/algebra"
+	"twist/internal/workloads"
+)
+
+// ScheduleRow is one (workload, schedule) cell of the schedule-algebra
+// enumeration: the canonical schedule expression, its legality verdict
+// against the workload's dependence witnesses, and — for legal schedules —
+// the oracle verdict of its engine lowering.
+type ScheduleRow struct {
+	// Workload is the benchmark abbreviation.
+	Workload string
+	// Schedule is the canonical schedule expression.
+	Schedule string
+	// Variant is the engine lowering (Schedule.Variant) the oracle checks.
+	Variant string
+	// Legal reports the legality verdict.
+	Legal bool
+	// Witness is the violated dependence witness for an illegal schedule.
+	Witness string
+	// OracleOK reports the oracle verdict for a legal schedule (always
+	// false for illegal ones, which are never run).
+	OracleOK bool
+}
+
+// Schedules enumerates the schedule algebra over the suite: every canonical
+// inline-free schedule reachable from the identity (algebra.Complete with
+// legality disabled), classified per workload by the legality checker, with
+// each legal schedule's engine lowering differentially checked against the
+// workload's golden trace. An error means a *legal* schedule failed the
+// oracle — the algebra's soundness contract is broken; illegal schedules
+// are reported, not run.
+func Schedules(scale int, seed int64) ([]ScheduleRow, error) {
+	// The candidate set: completions of the identity with no witnesses, so
+	// nothing is filtered; inline is excluded because the engine executes
+	// visit orders, not generated code.
+	candidates := algebra.Complete(algebra.Identity(), algebra.WitnessSet{},
+		algebra.CompleteOptions{Cutoffs: []int{0, 64}, MaxInline: -1})
+
+	var rows []ScheduleRow
+	for _, in := range workloads.Suite(scale, seed) {
+		irregular, err := workloads.Irregular(in.Name)
+		if err != nil {
+			return nil, err
+		}
+		ws := algebra.ForNest(irregular)
+		spec := in.OracleSpec()
+		g, err := oracle.Capture(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", in.Name, err)
+		}
+		for _, s := range candidates {
+			row := ScheduleRow{
+				Workload: in.Name,
+				Schedule: s.String(),
+				Variant:  s.Variant().String(),
+			}
+			if v := s.Check(ws); v != nil {
+				row.Witness = v.Witness.String()
+			} else {
+				row.Legal = true
+				verdict := g.CheckVariant(spec, s.Variant(), nest.FlagCounter, true)
+				row.OracleOK = verdict.OK
+				if !verdict.OK {
+					return rows, fmt.Errorf("%s: legal schedule %s failed the oracle: %v",
+						in.Name, s, verdict.Err())
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

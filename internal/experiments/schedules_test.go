@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The schedule-algebra enumeration is itself an acceptance check (a legal
+// schedule failing the oracle is an error); this test pins its shape: the
+// regular workloads accept every candidate, the irregular ones reject
+// exactly the unflagged twists with the outer-dependent-truncation witness,
+// and every legal row is oracle-verified.
+func TestSchedulesEnumeration(t *testing.T) {
+	t.Parallel()
+	rows, err := Schedules(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorkload := make(map[string][]ScheduleRow)
+	for _, r := range rows {
+		perWorkload[r.Workload] = append(perWorkload[r.Workload], r)
+		if r.Legal != r.OracleOK {
+			t.Errorf("%s %s: legal=%v but oracle_ok=%v", r.Workload, r.Schedule, r.Legal, r.OracleOK)
+		}
+		if r.Legal && r.Witness != "" {
+			t.Errorf("%s %s: legal row carries witness %q", r.Workload, r.Schedule, r.Witness)
+		}
+	}
+	if len(perWorkload) != 6 {
+		t.Fatalf("enumerated %d workloads, want 6", len(perWorkload))
+	}
+	for name, wrows := range perWorkload {
+		if len(wrows) != 8 {
+			t.Errorf("%s: %d candidates, want 8 (cutoffs {0,64})", name, len(wrows))
+		}
+		var illegal []ScheduleRow
+		for _, r := range wrows {
+			if !r.Legal {
+				illegal = append(illegal, r)
+			}
+		}
+		switch name {
+		case "TJ", "MM":
+			if len(illegal) != 0 {
+				t.Errorf("%s: regular space rejected %d schedules", name, len(illegal))
+			}
+		default:
+			if len(illegal) != 3 {
+				t.Errorf("%s: irregular space rejected %d schedules, want 3 (the unflagged twists)", name, len(illegal))
+			}
+			for _, r := range illegal {
+				if strings.Contains(r.Schedule, "flagged") {
+					t.Errorf("%s: flagged schedule %s rejected", name, r.Schedule)
+				}
+				if !strings.Contains(r.Witness, "outer-dependent-truncation") {
+					t.Errorf("%s %s: witness %q, want outer-dependent-truncation", name, r.Schedule, r.Witness)
+				}
+			}
+		}
+	}
+}

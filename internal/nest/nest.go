@@ -528,8 +528,12 @@ const (
 	KindTwistedCutoff
 )
 
-// Variant selects a schedule; construct one with Original, Interchanged,
-// Twisted, or TwistedCutoff.
+// Variant selects an engine schedule; construct one with Original,
+// Interchanged, Twisted, or TwistedCutoff. Variant is the engine's lowered
+// schedule representation: the four constructors are exactly the canonical
+// points of the composable schedule algebra (internal/transform/algebra),
+// and new code should express schedules there — algebra.Schedule.Variant
+// lowers any inline-free schedule onto this type.
 type Variant struct {
 	Kind   VariantKind
 	Cutoff int32 // for KindTwistedCutoff: twist only while Size(inner) > Cutoff
@@ -573,8 +577,13 @@ func (v Variant) String() string {
 // ParseVariant parses a schedule name as printed by Variant.String — one of
 // "original", "interchanged", "twisted", "twisted-cutoff" (cutoff 0, i.e.
 // plain twisting with the §7.1 guard site), or "twisted-cutoff:N" for an
-// explicit cutoff. It is the single flag-parsing entry point shared by the
-// command-line tools.
+// explicit cutoff.
+//
+// Deprecated: the variant names are the four canonical points of the
+// schedule algebra; parse schedule expressions (a superset of these names)
+// with internal/transform/algebra.ParseSchedule and lower with
+// Schedule.Variant. ParseVariant remains as the algebra's legacy-name
+// backend and for external callers.
 func ParseVariant(s string) (Variant, error) {
 	name, arg, hasArg := strings.Cut(strings.TrimSpace(s), ":")
 	switch name {

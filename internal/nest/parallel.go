@@ -24,6 +24,11 @@ import (
 //
 // It returns the per-task statistics (spawn-order; the first entry covers
 // the sequential shallow columns).
+//
+// Deprecated: use Exec.RunWith with a RunConfig — the same decomposition on
+// the bounded-worker executors, with deterministic merged Stats,
+// cancellation, and work stealing. RunParallel remains as the historical
+// unbounded-goroutine form behind the package facade.
 func RunParallel(s Spec, v Variant, spawnDepth, workers int, configure func(*Exec)) ([]Stats, error) {
 	if err := s.validate(); err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"twist/internal/obs"
 	"twist/internal/oracle"
 	"twist/internal/transform"
+	"twist/internal/transform/algebra"
 	"twist/internal/workloads"
 )
 
@@ -76,7 +77,7 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := nest.ParseVariant(s.Variant)
+	v, err := parseVariantExpr(s.Variant)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +215,7 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	v, err := nest.ParseVariant(s.Variant)
+	v, err := parseVariantExpr(s.Variant)
 	if err != nil {
 		return nil, err
 	}
@@ -293,15 +294,15 @@ func (s *TransformSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	var vs []nest.Variant
-	for _, name := range s.Variants {
-		v, err := nest.ParseVariant(name)
+	var scheds []algebra.Schedule
+	for _, expr := range append(append([]string(nil), s.Variants...), s.Schedules...) {
+		sched, err := algebra.ParseSchedule(expr)
 		if err != nil {
 			return nil, err
 		}
-		vs = append(vs, v)
+		scheds = append(scheds, sched)
 	}
-	src, err := transform.GenerateVariants(t, vs)
+	src, err := algebra.GenerateSchedules(t, scheds)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +365,7 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := nest.ParseVariant(s.Variant)
+	v, err := parseVariantExpr(s.Variant)
 	if err != nil {
 		return nil, err
 	}
@@ -411,6 +412,17 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 		Detail:        verdict.String(),
 		Verdict:       verdict,
 	}, nil
+}
+
+// parseVariantExpr resolves a normalized spec's schedule expression onto
+// its engine variant through the algebra (every legacy variant name is a
+// schedule expression, so this subsumes nest.ParseVariant).
+func parseVariantExpr(expr string) (nest.Variant, error) {
+	s, err := algebra.ParseSchedule(expr)
+	if err != nil {
+		return nest.Variant{}, err
+	}
+	return s.Variant(), nil
 }
 
 // decodeSpec builds the Spec type for a kind, for the HTTP layer's JSON

@@ -26,19 +26,24 @@ const (
 	goldenSeed  = 1
 )
 
-// goldenJobs returns the canonical request per kind.
+// goldenJobs returns the canonical requests: one per kind, plus one
+// schedule-expression transform exercising the algebra path end to end.
 func goldenJobs() []struct {
+	name string
 	kind Kind
 	spec any
 } {
 	return []struct {
+		name string
 		kind Kind
 		spec any
 	}{
-		{KindRun, RunSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
-		{KindMissCurve, MissCurveSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
-		{KindTransform, TransformSpec{Source: diffTemplateSrc}},
-		{KindOracle, OracleSpec{Workload: "MM", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{"run", KindRun, RunSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{"misscurve", KindMissCurve, MissCurveSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{"transform", KindTransform, TransformSpec{Source: diffTemplateSrc}},
+		{"transform_schedule", KindTransform, TransformSpec{Source: diffTemplateSrc,
+			Schedules: []string{"inline(2)∘twist(flagged)"}}},
+		{"oracle", KindOracle, OracleSpec{Workload: "MM", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
 	}
 }
 
@@ -47,7 +52,7 @@ func TestGoldenResponses(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, Queue: 16})
 	for _, job := range goldenJobs() {
 		job := job
-		t.Run(string(job.kind), func(t *testing.T) {
+		t.Run(job.name, func(t *testing.T) {
 			t.Parallel()
 			status, body := postJob(t, ts.URL, job.kind, job.spec)
 			if status != http.StatusOK {
@@ -61,7 +66,7 @@ func TestGoldenResponses(t *testing.T) {
 			}
 			got = append(got, '\n')
 
-			path := filepath.Join("testdata", string(job.kind)+".golden")
+			path := filepath.Join("testdata", job.name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
 					t.Fatal(err)
@@ -78,7 +83,7 @@ func TestGoldenResponses(t *testing.T) {
 			}
 			if !bytes.Equal(got, want) {
 				t.Errorf("response for %s drifted from %s\ngot:\n%s\nwant:\n%s\nIf the change is intentional, regenerate with -update-golden.",
-					job.kind, path, got, want)
+					job.name, path, got, want)
 			}
 		})
 	}

@@ -39,6 +39,7 @@ import (
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
+	"twist/internal/transform/algebra"
 	"twist/internal/workloads"
 )
 
@@ -115,9 +116,16 @@ func Digest(s Spec) string {
 type RunSpec struct {
 	// Workload is the benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
 	Workload string `json:"workload"`
-	// Variant is the schedule in nest.ParseVariant form (original,
+	// Variant is the schedule in legacy nest.ParseVariant form (original,
 	// interchanged, twisted, twisted-cutoff:N). Default twisted.
 	Variant string `json:"variant,omitempty"`
+	// Schedule is the schedule as an algebra expression
+	// (algebra.ParseSchedule, e.g. "stripmine(64)∘twist(flagged)"). It is
+	// legality-checked against the workload's dependence witnesses, then
+	// canonicalized into Variant — a schedule-bearing request digests
+	// identically to its variant-bearing equivalent. Mutually exclusive
+	// with Variant.
+	Schedule string `json:"schedule,omitempty"`
 	// Scale is the suite scale parameter (workloads.ByName). Default 1024.
 	Scale int `json:"scale,omitempty"`
 	// Seed is the workload seed.
@@ -145,7 +153,7 @@ func (s *RunSpec) Normalize() error {
 	if err := normalizeWorkload(&s.Workload); err != nil {
 		return err
 	}
-	if err := normalizeVariant(&s.Variant); err != nil {
+	if err := normalizeSchedule(&s.Schedule, &s.Variant, s.Workload); err != nil {
 		return err
 	}
 	if err := normalizeScale(&s.Scale, MaxScale); err != nil {
@@ -175,8 +183,12 @@ func (s *RunSpec) Normalize() error {
 type MissCurveSpec struct {
 	// Workload is the benchmark abbreviation (TJ, MM, PC, NN, KNN, VP).
 	Workload string `json:"workload"`
-	// Variant is the schedule in nest.ParseVariant form. Default twisted.
+	// Variant is the schedule in legacy nest.ParseVariant form. Default
+	// twisted.
 	Variant string `json:"variant,omitempty"`
+	// Schedule is the schedule as an algebra expression; see
+	// RunSpec.Schedule. Mutually exclusive with Variant.
+	Schedule string `json:"schedule,omitempty"`
 	// Scale is the suite scale parameter. Default 1024.
 	Scale int `json:"scale,omitempty"`
 	// Seed is the workload seed.
@@ -197,7 +209,7 @@ func (s *MissCurveSpec) Normalize() error {
 	if err := normalizeWorkload(&s.Workload); err != nil {
 		return err
 	}
-	if err := normalizeVariant(&s.Variant); err != nil {
+	if err := normalizeSchedule(&s.Schedule, &s.Variant, s.Workload); err != nil {
 		return err
 	}
 	if err := normalizeScale(&s.Scale, MaxScale); err != nil {
@@ -229,10 +241,16 @@ type TransformSpec struct {
 	// Source is a complete Go source file holding the //twist:outer and
 	// //twist:inner annotated pair (internal/transform).
 	Source string `json:"source"`
-	// Variants selects the schedule families to emit, in nest.ParseVariant
-	// form; empty means every family. Original is rejected — the input
-	// template already is that schedule.
+	// Variants selects the schedule families to emit. Entries are schedule
+	// expressions (algebra.ParseSchedule), which subsumes the legacy
+	// nest.ParseVariant names; empty means every family. The identity
+	// schedule is rejected — the input template already is it.
 	Variants []string `json:"variants,omitempty"`
+	// Schedules are additional schedule expressions to emit. Inline-free
+	// entries canonicalize into Variants (so a schedule-bearing request
+	// digests identically to its variant-bearing equivalent); entries with
+	// inline(K) stay here in canonical form and emit the inlined drivers.
+	Schedules []string `json:"schedules,omitempty"`
 }
 
 // Kind implements Spec.
@@ -246,20 +264,31 @@ func (s *TransformSpec) Normalize() error {
 	if len(s.Source) > MaxSourceBytes {
 		return fmt.Errorf("serve: transform source %d bytes exceeds the limit %d", len(s.Source), MaxSourceBytes)
 	}
-	if len(s.Variants) == 0 {
-		s.Variants = nil // canonical form for "every family"
+	exprs := len(s.Variants) + len(s.Schedules)
+	if exprs == 0 {
+		s.Variants, s.Schedules = nil, nil // canonical form for "every family"
 		return nil
 	}
-	for k := range s.Variants {
-		v, err := nest.ParseVariant(s.Variants[k])
+	variants := make([]string, 0, exprs)
+	var schedules []string
+	for _, expr := range append(append([]string(nil), s.Variants...), s.Schedules...) {
+		sched, err := algebra.ParseSchedule(expr)
 		if err != nil {
 			return fmt.Errorf("serve: %v", err)
 		}
-		if v.Kind == nest.KindOriginal {
-			return fmt.Errorf("serve: transform cannot emit the original schedule (the input template is it)")
+		if sched == algebra.Identity() {
+			return fmt.Errorf("serve: transform cannot emit the identity schedule (the input template is it)")
 		}
-		s.Variants[k] = v.String()
+		if sched.InlineDepth() == 0 {
+			variants = append(variants, sched.Variant().String())
+		} else {
+			schedules = append(schedules, sched.String())
+		}
 	}
+	if len(variants) == 0 {
+		variants = nil
+	}
+	s.Variants, s.Schedules = variants, schedules
 	return nil
 }
 
@@ -273,8 +302,12 @@ type OracleSpec struct {
 	Scale int `json:"scale,omitempty"`
 	// Seed is the workload seed.
 	Seed int64 `json:"seed,omitempty"`
-	// Variant is the schedule under test. Default twisted.
+	// Variant is the schedule under test, in legacy nest.ParseVariant form.
+	// Default twisted.
 	Variant string `json:"variant,omitempty"`
+	// Schedule is the schedule under test as an algebra expression; see
+	// RunSpec.Schedule. Mutually exclusive with Variant.
+	Schedule string `json:"schedule,omitempty"`
 	// FlagMode is the truncation-flag representation for sequential checks
 	// (sets, counter). Default counter.
 	FlagMode string `json:"flag_mode,omitempty"`
@@ -303,7 +336,7 @@ func (s *OracleSpec) Normalize() error {
 	if s.Scale > MaxOracleScale {
 		return fmt.Errorf("serve: oracle scale %d exceeds the limit %d", s.Scale, MaxOracleScale)
 	}
-	if err := normalizeVariant(&s.Variant); err != nil {
+	if err := normalizeSchedule(&s.Schedule, &s.Variant, s.Workload); err != nil {
 		return err
 	}
 	if err := normalizeFlagMode(&s.FlagMode); err != nil {
@@ -331,17 +364,41 @@ func normalizeWorkload(name *string) error {
 	return nil
 }
 
-// normalizeVariant canonicalizes a schedule name ("" means twisted).
-func normalizeVariant(variant *string) error {
-	if *variant == "" {
+// normalizeSchedule canonicalizes a job's schedule selection. The two
+// fields are mutually exclusive: a legacy variant name passes through
+// (default twisted), while a schedule expression is parsed with the
+// algebra, legality-checked against the workload's dependence witnesses,
+// lowered onto its engine variant, and cleared — so a schedule-bearing
+// request has the same canonical form (and digest) as its variant-bearing
+// equivalent. The workload must already be canonical.
+func normalizeSchedule(schedule, variant *string, workload string) error {
+	expr := *variant
+	if *schedule != "" {
+		if *variant != "" {
+			return fmt.Errorf("serve: set schedule or variant, not both")
+		}
+		expr = *schedule
+	}
+	if expr == "" {
 		*variant = nest.Twisted().String()
 		return nil
 	}
-	v, err := nest.ParseVariant(*variant)
+	s, err := algebra.ParseSchedule(expr)
 	if err != nil {
 		return fmt.Errorf("serve: %v", err)
 	}
-	*variant = v.String()
+	if s.InlineDepth() > 0 {
+		return fmt.Errorf("serve: inline(K) is a code-generation transformation; engine jobs cannot execute %q", expr)
+	}
+	irregular, err := workloads.Irregular(workload)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	if v := s.Check(algebra.ForNest(irregular)); v != nil {
+		return fmt.Errorf("serve: %v", v)
+	}
+	*variant = s.Variant().String()
+	*schedule = ""
 	return nil
 }
 

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScheduleDigestIdentity verifies the schedule field is pure surface
+// syntax: a spec carrying a schedule expression canonicalizes into the same
+// Variant — and hence the same content digest, cache entry, and coalescing
+// bucket — as the equivalent enum-bearing spec, for every engine job kind
+// and for the transform kind's Schedules list.
+func TestScheduleDigestIdentity(t *testing.T) {
+	t.Parallel()
+	norm := func(s Spec) string {
+		t.Helper()
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return Digest(s)
+	}
+	pairs := []struct {
+		name           string
+		schedule, enum Spec
+	}{
+		{"run twist(flagged)",
+			&RunSpec{Workload: "TJ", Schedule: "twist(flagged)"},
+			&RunSpec{Workload: "TJ", Variant: "twisted"}},
+		{"run stripmine",
+			&RunSpec{Workload: "PC", Schedule: "stripmine(64)∘twist(flagged)"},
+			&RunSpec{Workload: "PC", Variant: "twisted-cutoff:64"}},
+		{"run identity",
+			&RunSpec{Workload: "TJ", Schedule: "interchange∘interchange"},
+			&RunSpec{Workload: "TJ", Variant: "original"}},
+		{"misscurve",
+			&MissCurveSpec{Workload: "MM", Schedule: "interchange"},
+			&MissCurveSpec{Workload: "MM", Variant: "interchanged"}},
+		{"oracle",
+			&OracleSpec{Workload: "KNN", Schedule: "twist(flagged)"},
+			&OracleSpec{Workload: "KNN", Variant: "twisted"}},
+		{"transform schedules list",
+			&TransformSpec{Source: diffTemplateSrc, Schedules: []string{"twist(flagged)", "stripmine(0)∘twist(flagged)"}},
+			&TransformSpec{Source: diffTemplateSrc, Variants: []string{"twisted", "twisted-cutoff"}}},
+	}
+	for _, p := range pairs {
+		if a, b := norm(p.schedule), norm(p.enum); a != b {
+			t.Errorf("%s: schedule spec digests %s, enum spec %s", p.name, a, b)
+		}
+	}
+}
+
+// TestScheduleNormalizeRejections covers the legality and mutual-exclusion
+// checks the schedule field adds at Normalize time: illegal compositions are
+// rejected with the violated dependence witness quoted, inline schedules
+// cannot reach engine jobs, and schedule/variant are mutually exclusive.
+func TestScheduleNormalizeRejections(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		spec Spec
+		want []string
+	}{
+		{"unflagged twist on irregular workload",
+			&RunSpec{Workload: "PC", Schedule: "twist"},
+			[]string{"outer-dependent-truncation witness", "truncation-flag protocol"}},
+		{"interchange alone is fine on PC, stripmine over bare twist is not",
+			&OracleSpec{Workload: "VP", Schedule: "stripmine(8)∘twist"},
+			[]string{"outer-dependent-truncation witness"}},
+		{"inline in an engine job",
+			&RunSpec{Workload: "TJ", Schedule: "inline(2)∘twist(flagged)"},
+			[]string{"code-generation transformation", "engine jobs cannot execute"}},
+		{"schedule and variant both set",
+			&RunSpec{Workload: "TJ", Schedule: "twist(flagged)", Variant: "twisted"},
+			[]string{"set schedule or variant, not both"}},
+		{"malformed expression",
+			&MissCurveSpec{Workload: "TJ", Schedule: "twist(flagged"},
+			[]string{"algebra:"}},
+		{"structural error",
+			&RunSpec{Workload: "TJ", Schedule: "stripmine(4)"},
+			[]string{"stripmine", "twist"}},
+		{"transform identity schedule",
+			&TransformSpec{Source: diffTemplateSrc, Schedules: []string{"identity"}},
+			[]string{"transform cannot emit the identity schedule"}},
+		{"legality-checked variant field too",
+			&RunSpec{Workload: "NN", Variant: "twist"},
+			[]string{"outer-dependent-truncation witness"}},
+	}
+	for _, c := range cases {
+		err := c.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: Normalize accepted the spec", c.name)
+			continue
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", c.name, err, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twist/internal/nest"
+)
+
+// The four legacy variants must be expressible as schedules, round-trip
+// through FromVariant/Variant, and print their canonical forms.
+func TestLegacyVariantSchedules(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		v    nest.Variant
+		want string
+	}{
+		{nest.Original(), "identity"},
+		{nest.Interchanged(), "interchange"},
+		{nest.Twisted(), "twist(flagged)"},
+		{nest.TwistedCutoff(0), "stripmine(0)∘twist(flagged)"},
+		{nest.TwistedCutoff(64), "stripmine(64)∘twist(flagged)"},
+	}
+	for _, c := range cases {
+		s, err := FromVariant(c.v)
+		if err != nil {
+			t.Fatalf("FromVariant(%v): %v", c.v, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("FromVariant(%v).String() = %q, want %q", c.v, got, c.want)
+		}
+		if got := s.Variant(); got != c.v {
+			t.Errorf("FromVariant(%v).Variant() = %v", c.v, got)
+		}
+		// The legacy name itself must parse to the same schedule.
+		rt, err := ParseSchedule(c.v.String())
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", c.v, err)
+		}
+		if rt != s {
+			t.Errorf("ParseSchedule(%q) = %v, want %v", c.v, rt, s)
+		}
+	}
+}
+
+// Normalization laws of the algebra.
+func TestNormalization(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		ops  []Transformation
+		want string
+	}{
+		{nil, "identity"},
+		{[]Transformation{Interchange{}, Interchange{}}, "identity"},
+		{[]Transformation{Interchange{}, Interchange{}, Interchange{}}, "interchange"},
+		// Twist absorbs orientation flips on either side.
+		{[]Transformation{Interchange{}, CodeMotion{Flagged: true}}, "twist(flagged)"},
+		{[]Transformation{CodeMotion{}, Interchange{}}, "twist"},
+		// Flaggedness is sticky across merged twists.
+		{[]Transformation{CodeMotion{}, CodeMotion{Flagged: true}}, "twist(flagged)"},
+		{[]Transformation{CodeMotion{Flagged: true}, CodeMotion{}}, "twist(flagged)"},
+		// Strip mines merge to the larger cutoff; inline depths add.
+		{[]Transformation{StripMine{Cutoff: 8}, StripMine{Cutoff: 64}, CodeMotion{}}, "stripmine(64)∘twist"},
+		{[]Transformation{StripMine{Cutoff: 64}, StripMine{Cutoff: 8}, CodeMotion{}}, "stripmine(64)∘twist"},
+		{[]Transformation{Inlining{Depth: 1}, Inlining{Depth: 2}, CodeMotion{Flagged: true}}, "inline(3)∘twist(flagged)"},
+		{[]Transformation{Inlining{Depth: 2}}, "inline(2)"},
+	}
+	for _, c := range cases {
+		s, err := New(c.ops...)
+		if err != nil {
+			t.Fatalf("New(%v): %v", c.ops, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("New(%v) = %q, want %q", c.ops, got, c.want)
+		}
+		// Canonical form is a fixed point: rebuilding from Ops is identity.
+		rt, err := New(s.Ops()...)
+		if err != nil || rt != s {
+			t.Errorf("New(%v.Ops()) = %v, %v; want %v", s, rt, err, s)
+		}
+	}
+}
+
+// A pure-inline schedule prints without an explicit identity term; its
+// String output must still round-trip.
+func TestPureInlineString(t *testing.T) {
+	t.Parallel()
+	s := MustNew(Inlining{Depth: 2})
+	got := s.String()
+	rt, err := ParseSchedule(got)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", got, err)
+	}
+	if rt != s {
+		t.Fatalf("round-trip of %q: got %v", got, rt)
+	}
+}
+
+// Structural errors are not legality violations: they come from malformed
+// chains regardless of any witness set.
+func TestStructuralErrors(t *testing.T) {
+	t.Parallel()
+	for _, ops := range [][]Transformation{
+		{StripMine{Cutoff: 64}},                  // no twist to bound
+		{StripMine{Cutoff: 64}, Interchange{}},   // interchange core
+		{CodeMotion{}, StripMine{Cutoff: 64}},    // stripmine applies before the twist exists
+		{Inlining{Depth: 0}},                     // zero depth
+		{Inlining{Depth: MaxInlineDepth + 1}},    // over the cap
+		{Inlining{Depth: 5}, Inlining{Depth: 5}}, // sums over the cap
+		{StripMine{Cutoff: -1}, CodeMotion{}},    // negative cutoff
+	} {
+		if _, err := New(ops...); err == nil {
+			t.Errorf("New(%v) unexpectedly succeeded", ops)
+		}
+	}
+}
+
+// Compose must agree with New on concatenated chains and verify
+// associativity on randomly generated operand splits.
+func TestComposeAssociativity(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	randSchedule := func() Schedule {
+		var ops []Transformation
+		// Build a structurally valid chain: start from a random core.
+		switch rng.Intn(3) {
+		case 1:
+			ops = append(ops, Interchange{})
+		case 2:
+			ops = append(ops, CodeMotion{Flagged: rng.Intn(2) == 0})
+		}
+		if len(ops) > 0 {
+			if _, isTwist := ops[0].(CodeMotion); isTwist && rng.Intn(2) == 0 {
+				ops = append([]Transformation{StripMine{Cutoff: rng.Intn(128)}}, ops...)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			ops = append([]Transformation{Inlining{Depth: 1 + rng.Intn(2)}}, ops...)
+		}
+		return MustNew(ops...)
+	}
+	for trial := 0; trial < 500; trial++ {
+		parts := make([]Schedule, 2+rng.Intn(3))
+		for k := range parts {
+			parts[k] = randSchedule()
+		}
+		got, err := Compose(parts...)
+		if err != nil {
+			t.Fatalf("Compose(%v): %v", parts, err)
+		}
+		var ops []Transformation
+		for _, p := range parts {
+			ops = append(ops, p.Ops()...)
+		}
+		want, err := New(ops...)
+		if err != nil {
+			t.Fatalf("New(concat %v): %v", parts, err)
+		}
+		if got != want {
+			t.Fatalf("Compose(%v) = %v, want %v", parts, got, want)
+		}
+	}
+}
+
+// Quick-check: lowering any inline-free schedule to a variant and lifting
+// it back is the identity (the four canonical schedules are a bijection
+// with the legacy enum).
+func TestQuickVariantBijection(t *testing.T) {
+	t.Parallel()
+	prop := func(kind uint8, cutoff uint16) bool {
+		v := nest.Variant{Kind: nest.VariantKind(kind % 4)}
+		if v.Kind == nest.KindTwistedCutoff {
+			v.Cutoff = int32(cutoff)
+		}
+		s, err := FromVariant(v)
+		return err == nil && s.Variant() == v && s.InlineDepth() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package algebra
+
+import "sort"
+
+// CompleteOptions bounds the catalog Complete draws extensions from. The
+// algebra's canonical space is finite only up to the parameter choices, so
+// completion enumerates over a caller-supplied (or default) grid.
+type CompleteOptions struct {
+	// Cutoffs are the StripMine cutoffs to consider. Default {0, 64}: the
+	// bare §7.1 guard site and the paper's tuned cutoff.
+	Cutoffs []int
+	// MaxInline is the largest Inlining depth to consider. The zero value
+	// means the default of 2; a negative value disables inlining extensions.
+	MaxInline int
+}
+
+// defaults fills in the default catalog.
+func (o CompleteOptions) defaults() CompleteOptions {
+	if o.Cutoffs == nil {
+		o.Cutoffs = []int{0, 64}
+	}
+	if o.MaxInline == 0 {
+		o.MaxInline = 2
+	} else if o.MaxInline < 0 {
+		o.MaxInline = 0
+	}
+	return o
+}
+
+// Complete extends a partial schedule to every legal completion: the set of
+// canonical schedules reachable by composing catalog transformations over
+// (outside) partial that pass the legality check against ws. The partial
+// schedule itself is included when legal. Completion works up to
+// normalization, so a composition may cancel an orientation core
+// (interchange∘interchange = identity): an illegal interchange partial still
+// completes to its cancellations, while a twist core — which no catalog
+// transformation removes — restricts completions to twists. Results are
+// deterministic: duplicates collapse through normalization and the slice is
+// sorted canonically (identity < interchange < twist cores, then by flag,
+// cutoff, and inline depth).
+func Complete(partial Schedule, ws WitnessSet, opts CompleteOptions) []Schedule {
+	opts = opts.defaults()
+	var catalog []Transformation
+	catalog = append(catalog, Interchange{}, CodeMotion{}, CodeMotion{Flagged: true})
+	for _, c := range opts.Cutoffs {
+		catalog = append(catalog, StripMine{Cutoff: c})
+	}
+	if opts.MaxInline > 0 {
+		catalog = append(catalog, Inlining{Depth: 1})
+	}
+
+	seen := map[Schedule]bool{partial: true}
+	frontier := []Schedule{partial}
+	for len(frontier) > 0 {
+		var next []Schedule
+		for _, s := range frontier {
+			for _, op := range catalog {
+				ext, err := s.apply(op)
+				if err != nil || ext.InlineDepth() > opts.MaxInline || seen[ext] {
+					continue
+				}
+				seen[ext] = true
+				next = append(next, ext)
+			}
+		}
+		frontier = next
+	}
+
+	var legal []Schedule
+	for s := range seen {
+		if s.Check(ws) == nil {
+			legal = append(legal, s)
+		}
+	}
+	sort.Slice(legal, func(a, b int) bool { return scheduleLess(legal[a], legal[b]) })
+	return legal
+}
+
+// scheduleLess is the canonical enumeration order.
+func scheduleLess(a, b Schedule) bool {
+	if a.core != b.core {
+		return a.core < b.core
+	}
+	if a.flagged != b.flagged {
+		return !a.flagged
+	}
+	if a.strip != b.strip {
+		return !a.strip
+	}
+	if a.cutoff != b.cutoff {
+		return a.cutoff < b.cutoff
+	}
+	return a.inline < b.inline
+}

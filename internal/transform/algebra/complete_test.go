@@ -1,0 +1,118 @@
+package algebra
+
+import (
+	"testing"
+
+	"twist/internal/nest"
+)
+
+// contains reports whether scheds includes the schedule denoted by expr.
+func contains(scheds []Schedule, expr string) bool {
+	want := MustParseSchedule(expr)
+	for _, s := range scheds {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Completing the identity over a regular space reaches every core, both
+// cutoffs, and inlined forms — and nothing illegal.
+func TestCompleteRegular(t *testing.T) {
+	t.Parallel()
+	scheds := Complete(Identity(), ForNest(false), CompleteOptions{})
+	for _, expr := range []string{
+		"identity",
+		"interchange",
+		"twist",
+		"twist(flagged)",
+		"stripmine(0)∘twist(flagged)",
+		"stripmine(64)∘twist",
+		"inline(2)∘stripmine(64)∘twist(flagged)",
+		"inline(1)∘interchange",
+	} {
+		if !contains(scheds, expr) {
+			t.Errorf("completion missing %s", expr)
+		}
+	}
+	ws := ForNest(false)
+	for _, s := range scheds {
+		if v := s.Check(ws); v != nil {
+			t.Errorf("completion emitted illegal schedule %v: %v", s, v)
+		}
+		if s.InlineDepth() > 2 {
+			t.Errorf("completion exceeded default MaxInline: %v", s)
+		}
+	}
+}
+
+// On an irregular space the unflagged twists drop out; flagged twists,
+// interchange, and identity remain.
+func TestCompleteIrregular(t *testing.T) {
+	t.Parallel()
+	ws := ForNest(true)
+	scheds := Complete(Identity(), ws, CompleteOptions{})
+	for _, s := range scheds {
+		if v := s.Check(ws); v != nil {
+			t.Errorf("completion emitted illegal schedule %v: %v", s, v)
+		}
+	}
+	for _, expr := range []string{"identity", "interchange", "twist(flagged)", "stripmine(64)∘twist(flagged)"} {
+		if !contains(scheds, expr) {
+			t.Errorf("completion missing %s", expr)
+		}
+	}
+	for _, expr := range []string{"twist", "stripmine(64)∘twist"} {
+		if contains(scheds, expr) {
+			t.Errorf("completion includes illegal %s", expr)
+		}
+	}
+}
+
+// An illegal interchange partial completes only through cancellation
+// (interchange∘interchange = identity): no completion keeps a reordering
+// core. An illegal twist partial — whose core nothing cancels — has no
+// legal completions at all.
+func TestCompleteIllegalPartial(t *testing.T) {
+	t.Parallel()
+	var ws WitnessSet
+	ws.Add(Witness{Kind: WitnessCrossColumn, Source: "(o, i)", Sink: "(o', i')", Evidence: "test"})
+	got := Complete(MustParseSchedule("interchange"), ws, CompleteOptions{})
+	if !contains(got, "identity") {
+		t.Error("cancellation completion identity missing")
+	}
+	for _, s := range got {
+		if s.Check(ws) != nil {
+			t.Errorf("illegal completion %v", s)
+		}
+		if s.Variant().Kind != nest.KindOriginal {
+			t.Errorf("completion %v kept a reordering core", s)
+		}
+	}
+	if got := Complete(MustParseSchedule("twist(flagged)"), ws, CompleteOptions{}); len(got) != 0 {
+		t.Fatalf("illegal twist partial completed to %v", got)
+	}
+}
+
+// Completion respects a custom catalog and includes the partial itself.
+func TestCompleteOptions(t *testing.T) {
+	t.Parallel()
+	partial := MustParseSchedule("twist(flagged)")
+	scheds := Complete(partial, ForNest(true), CompleteOptions{Cutoffs: []int{17}, MaxInline: -1})
+	if !contains(scheds, "twist(flagged)") {
+		t.Error("completion dropped the legal partial itself")
+	}
+	if !contains(scheds, "stripmine(17)∘twist(flagged)") {
+		t.Error("completion ignored the custom cutoff")
+	}
+	for _, s := range scheds {
+		if s.InlineDepth() != 0 {
+			t.Errorf("MaxInline<0 still produced inlined schedule %v", s)
+		}
+		// A twist core is never cancelled: every completion stays a twist.
+		if k := s.Variant().Kind; k != nest.KindTwisted && k != nest.KindTwistedCutoff {
+			t.Errorf("completion %v lost the twist core", s)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchedule: arbitrary input never panics, and anything the parser
+// accepts must round-trip through Schedule.String — a schedule expression in
+// a serve job, a -schedule flag, or a BENCH baseline stays stable across
+// print/parse cycles. Accepted schedules must also be structurally sound
+// (rebuilding from Ops succeeds and is a fixed point).
+func FuzzParseSchedule(f *testing.F) {
+	for _, s := range []string{
+		"identity", "interchange", "twist", "twist(flagged)",
+		"stripmine(64)∘twist(flagged)", "inline(2)∘stripmine(64)∘twist(flagged)",
+		"interchange∘interchange", "interchange.twist(flagged)",
+		"original", "twisted", "twisted-cutoff:64", "inline(1)∘twisted",
+		"stripmine(64)", "twist∘", "twist(bogus)", "inline(99)", "", "∘",
+		"stripmine(9999999999999999999)∘twist",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSchedule(src)
+		if err != nil {
+			// Errors must identify themselves as schedule errors.
+			if !strings.Contains(err.Error(), "algebra:") {
+				t.Fatalf("ParseSchedule(%q) error %q lacks the algebra: prefix", src, err)
+			}
+			return
+		}
+		rt, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q) = %v, but its String %q does not reparse: %v", src, s, s, err)
+		}
+		if rt != s {
+			t.Fatalf("ParseSchedule(%q) = %v, round-trips to %v", src, s, rt)
+		}
+		if rebuilt, err := New(s.Ops()...); err != nil || rebuilt != s {
+			t.Fatalf("New(%v.Ops()) = %v, %v", s, rebuilt, err)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package algebra
+
+import (
+	"fmt"
+
+	"twist/internal/nest"
+	"twist/internal/transform"
+)
+
+// GenerateSchedules is schedule-driven code generation: it checks every
+// requested schedule for legality against the witnesses extracted from the
+// template (FromTemplate) and emits the corresponding variants. A nil or
+// empty list selects the three legacy families, making the output
+// byte-identical to transform.Generate; schedules without Inlining lower
+// onto the legacy families byte-identically too. The identity schedule is
+// rejected (the input template already is that schedule), and an illegal
+// schedule returns its *Violation as the error — the violated dependence
+// witness, not just a refusal.
+func GenerateSchedules(t *transform.Template, scheds []Schedule) ([]byte, error) {
+	if len(scheds) == 0 {
+		scheds = []Schedule{
+			MustNew(Interchange{}),
+			MustNew(CodeMotion{Flagged: true}),
+			MustNew(StripMine{Cutoff: 0}, CodeMotion{Flagged: true}),
+		}
+	}
+	ws := FromTemplate(t)
+	var variants []nest.Variant
+	var inline []transform.InlineRequest
+	for _, s := range scheds {
+		if v := s.Check(ws); v != nil {
+			return nil, v
+		}
+		lowered := s.Variant()
+		if s.InlineDepth() == 0 {
+			if lowered.Kind == nest.KindOriginal {
+				return nil, fmt.Errorf("algebra: %q is the input schedule; nothing to generate", s)
+			}
+			variants = append(variants, lowered)
+			continue
+		}
+		fam, err := inlineFamily(lowered)
+		if err != nil {
+			return nil, err
+		}
+		inline = append(inline, transform.InlineRequest{Family: fam, Depth: s.InlineDepth()})
+	}
+	return transform.GenerateWithInline(t, variants, inline)
+}
+
+// inlineFamily maps a lowered engine variant onto the generator's inline
+// family.
+func inlineFamily(v nest.Variant) (transform.InlineFamily, error) {
+	switch v.Kind {
+	case nest.KindOriginal:
+		return transform.InlineOriginal, nil
+	case nest.KindInterchanged:
+		return transform.InlineInterchanged, nil
+	case nest.KindTwisted:
+		return transform.InlineTwisted, nil
+	case nest.KindTwistedCutoff:
+		return transform.InlineTwistedCutoff, nil
+	}
+	return 0, fmt.Errorf("algebra: unknown variant kind %d", v.Kind)
+}

@@ -1,0 +1,79 @@
+package algebra
+
+import (
+	"testing"
+
+	"twist/internal/nest"
+	"twist/internal/oracle"
+	"twist/internal/workloads"
+)
+
+// loweredVariants lowers a schedule list onto the deduplicated engine
+// variants it denotes (inlining does not change the visit order, so two
+// schedules differing only in inline depth lower identically).
+func loweredVariants(scheds []Schedule) []nest.Variant {
+	seen := map[nest.Variant]bool{}
+	var vs []nest.Variant
+	for _, s := range scheds {
+		v := s.Variant()
+		if !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// Every schedule the legality checker accepts must be semantically
+// equivalent to the original program order — checked with the PR 4 oracle
+// across all six paper workloads.
+func TestLegalSchedulesPassOracleAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle differential over the full suite")
+	}
+	for _, in := range workloads.Suite(256, 1) {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			t.Parallel()
+			spec := in.OracleSpec()
+			ws := FromSpec(spec)
+			legal := Complete(Identity(), ws, CompleteOptions{})
+			if len(legal) == 0 {
+				t.Fatal("no legal schedules")
+			}
+			g, err := oracle.Capture(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range loweredVariants(legal) {
+				if vd := g.CheckVariant(spec, v, nest.FlagCounter, true); !vd.OK {
+					t.Errorf("legal schedule lowering %v failed the oracle: %v", v, vd)
+				}
+			}
+		})
+	}
+}
+
+// Oracle differential over randomly sampled iteration spaces: for each
+// seeded spec, every legal completion must replay the golden trace, and on
+// irregular spaces the checker must have pruned the unflagged twists.
+func TestLegalSchedulesPassOracleRandomSpecs(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 24; seed++ {
+		spec, desc := oracle.RandomSpec(seed, 40)
+		ws := FromSpec(spec)
+		legal := Complete(Identity(), ws, CompleteOptions{Cutoffs: []int{0, 4}})
+		g, err := oracle.Capture(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if spec.TruncInner2 != nil && contains(legal, "twist") {
+			t.Fatalf("%s: unflagged twist accepted on an irregular space", desc)
+		}
+		for _, v := range loweredVariants(legal) {
+			if vd := g.CheckVariant(spec, v, nest.FlagCounter, true); !vd.OK {
+				t.Errorf("%s: legal schedule lowering %v failed the oracle: %v", desc, v, vd)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package algebra
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSchedule(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"identity", "identity"},
+		{"  identity  ", "identity"},
+		{"interchange", "interchange"},
+		{"twist", "twist"},
+		{"twist(flagged)", "twist(flagged)"},
+		{"stripmine(64)∘twist(flagged)", "stripmine(64)∘twist(flagged)"},
+		{"inline(2)∘stripmine(64)∘twist(flagged)", "inline(2)∘stripmine(64)∘twist(flagged)"},
+		// Non-canonical compositions normalize.
+		{"interchange∘interchange", "identity"},
+		{"interchange∘twist(flagged)", "twist(flagged)"},
+		{"twist∘twist(flagged)", "twist(flagged)"},
+		{"inline(1)∘inline(1)", "inline(2)"},
+		{"stripmine(8)∘stripmine(64)∘twist", "stripmine(64)∘twist"},
+		// ASCII composition operator and whitespace.
+		{"interchange.twist(flagged)", "twist(flagged)"},
+		{"inline(2) ∘ twist(flagged)", "inline(2)∘twist(flagged)"},
+		{"stripmine( 64 )∘twist", "stripmine(64)∘twist"},
+		// Legacy variant names are schedule expressions too.
+		{"original", "identity"},
+		{"interchanged", "interchange"},
+		{"twisted", "twist(flagged)"},
+		{"twisted-cutoff", "stripmine(0)∘twist(flagged)"},
+		{"twisted-cutoff:64", "stripmine(64)∘twist(flagged)"},
+		{"inline(1)∘twisted", "inline(1)∘twist(flagged)"},
+	}
+	for _, c := range cases {
+		s, err := ParseSchedule(c.src)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", c.src, err)
+			continue
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("ParseSchedule(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "empty schedule expression"},
+		{"   ", "empty schedule expression"},
+		{"twist∘", "empty term"},
+		{"∘twist", "empty term"},
+		{"twist∘∘twist", "empty term"},
+		{"frobnicate", "unknown term"},
+		{"twist(flagged", "missing closing parenthesis"},
+		{"twist(bogus)", "bad twist argument"},
+		{"identity(x)", "takes no argument"},
+		{"interchange(x)", "takes no argument"},
+		{"stripmine", "needs a cutoff argument"},
+		{"stripmine(x)", "bad stripmine cutoff"},
+		{"stripmine(-1)∘twist", "out of range"},
+		{"stripmine(64)", "must compose over a twist core"},
+		{"stripmine(64)∘interchange", "must compose over a twist core"},
+		{"inline", "needs a depth argument"},
+		{"inline(x)", "bad inline depth"},
+		{"inline(0)", "out of range"},
+		{"inline(9)", "out of range"},
+		{"inline(5)∘inline(5)", "exceeds the limit"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchedule(c.src)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) unexpectedly succeeded", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSchedule(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// randomSchedule draws a uniformly-shaped canonical schedule; shared by the
+// quick-check round-trip and the oracle differential test.
+func randomSchedule(rng *rand.Rand) Schedule {
+	s := Schedule{core: coreKind(rng.Intn(3))}
+	if s.core == coreTwist {
+		s.flagged = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			s.strip = true
+			s.cutoff = int32(rng.Intn(256))
+		}
+	}
+	s.inline = int32(rng.Intn(MaxInlineDepth + 1))
+	return s
+}
+
+// Quick-check: every canonical schedule round-trips through its String
+// rendering (the grammar analogue of nest's TestQuickVariantRoundTrip).
+func TestQuickScheduleRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	prop := func() bool {
+		s := randomSchedule(rng)
+		rt, err := ParseSchedule(s.String())
+		return err == nil && rt == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The ∘ and ASCII "." spellings of the same expression parse identically.
+func TestQuickOperatorEquivalence(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(13))
+	prop := func() bool {
+		s := randomSchedule(rng)
+		ascii := strings.ReplaceAll(s.String(), "∘", ".")
+		rt, err := ParseSchedule(ascii)
+		return err == nil && rt == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParseSchedulePanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseSchedule on a bad expression did not panic")
+		}
+	}()
+	MustParseSchedule("frobnicate")
+}

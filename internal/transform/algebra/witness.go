@@ -1,0 +1,353 @@
+package algebra
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"twist/internal/depcheck"
+	"twist/internal/nest"
+	"twist/internal/transform"
+)
+
+// WitnessKind classifies a dependence witness by the schedule property it
+// constrains (paper §3.3).
+type WitnessKind int
+
+const (
+	// WitnessCrossColumn: a dependence between iterations in *different*
+	// outer columns, (o,i) → (o',i'), o ≠ o'. The §3.3 sufficient condition
+	// — a parallel outer recursion — fails, so any transformation that
+	// reorders columns (interchange, twist) is illegal.
+	WitnessCrossColumn WitnessKind = iota
+	// WitnessOuterTrunc: the inner truncation decision at (o, i) depends on
+	// the outer index, so columns o ≠ o' may disagree about truncating the
+	// same inner node i. Row-major traversal over such a space needs the
+	// Fig 6(b) truncation-flag protocol: an unflagged twist is illegal.
+	WitnessOuterTrunc
+	// WitnessColumnOrder: a dependence carried along one column,
+	// (o,i) → (o,i'). Every transformation in the algebra preserves
+	// per-column inner order (the §3.3 guarantee), so this witness is
+	// recorded for the legality proof but never violated.
+	WitnessColumnOrder
+)
+
+// String implements fmt.Stringer.
+func (k WitnessKind) String() string {
+	switch k {
+	case WitnessCrossColumn:
+		return "cross-column"
+	case WitnessOuterTrunc:
+		return "outer-dependent-truncation"
+	case WitnessColumnOrder:
+		return "column-order"
+	}
+	return "unknown"
+}
+
+// Witness is one dependence witness tuple: a pair of symbolic (or, for
+// dynamic witnesses, concrete) iteration-space points with the evidence
+// that relates them. A legality rejection returns the witness the schedule
+// would violate.
+type Witness struct {
+	// Kind is the schedule property the witness constrains.
+	Kind WitnessKind
+	// Source and Sink are the two related iteration-space points, written
+	// as tuples over the template's index names, e.g. "(o, i)" → "(o', i)".
+	Source, Sink string
+	// Evidence is what establishes the dependence: the offending statement
+	// or truncation expression for static witnesses, the conflicting
+	// location for dynamic ones.
+	Evidence string
+}
+
+// String implements fmt.Stringer.
+func (w Witness) String() string {
+	return fmt.Sprintf("%s witness %s → %s: %s", w.Kind, w.Source, w.Sink, w.Evidence)
+}
+
+// WitnessSet is the dependence witnesses of one nested recursion, extracted
+// from a parsed template (FromTemplate), an engine spec (FromSpec), or a
+// dynamic dependence analysis (FromDependences).
+type WitnessSet struct {
+	list []Witness
+}
+
+// Add appends a witness.
+func (ws *WitnessSet) Add(w Witness) { ws.list = append(ws.list, w) }
+
+// Witnesses returns the witnesses in extraction order.
+func (ws WitnessSet) Witnesses() []Witness { return ws.list }
+
+// First returns the first witness of the given kind.
+func (ws WitnessSet) First(k WitnessKind) (Witness, bool) {
+	for _, w := range ws.list {
+		if w.Kind == k {
+			return w, true
+		}
+	}
+	return Witness{}, false
+}
+
+// Violation is a legality rejection: the transformation of a schedule that
+// would reorder across a dependence witness. It implements error, and the
+// message spells out the witness rather than a bare "illegal".
+type Violation struct {
+	// Schedule is the rejected composition.
+	Schedule Schedule
+	// Op is the offending transformation within it.
+	Op Transformation
+	// Witness is the dependence witness the transformation would violate.
+	Witness Witness
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	switch v.Witness.Kind {
+	case WitnessOuterTrunc:
+		return fmt.Sprintf("algebra: schedule %v is illegal: %v without the truncation-flag protocol reorders an irregular space — %v; compose twist(flagged) instead", v.Schedule, v.Op, v.Witness)
+	default:
+		return fmt.Sprintf("algebra: schedule %v is illegal: %v reorders outer columns, violating the §3.3 criterion — %v", v.Schedule, v.Op, v.Witness)
+	}
+}
+
+// Check evaluates the schedule against a witness set and returns the first
+// violation, or nil when the composition is legal. The rules, from §3.3 and
+// §4 of the paper:
+//
+//   - any column-reordering core (interchange or twist) is illegal when a
+//     cross-column witness exists;
+//   - an unflagged twist is illegal when an outer-dependent-truncation
+//     witness exists (interchange and twist(flagged) carry the Fig 6(b)
+//     protocol and remain legal);
+//   - column-order witnesses are preserved by construction: every core
+//     keeps each column's inner visits in order, and inlining does not
+//     reorder at all.
+func (s Schedule) Check(ws WitnessSet) *Violation {
+	if s.core != coreIdentity {
+		if w, ok := ws.First(WitnessCrossColumn); ok {
+			var op Transformation = Interchange{}
+			if s.core == coreTwist {
+				op = CodeMotion{Flagged: s.flagged}
+			}
+			return &Violation{Schedule: s, Op: op, Witness: w}
+		}
+	}
+	if s.core == coreTwist && !s.flagged {
+		if w, ok := ws.First(WitnessOuterTrunc); ok {
+			return &Violation{Schedule: s, Op: CodeMotion{}, Witness: w}
+		}
+	}
+	return nil
+}
+
+// FromTemplate extracts the dependence witnesses of a parsed source
+// template. Two sources:
+//
+//   - an outer-dependent inner truncation (Template.Irregular) yields an
+//     OuterTrunc witness quoting the truncation expression;
+//   - the work statements are scanned for plain assignments. A write
+//     through the inner index (i.field = …) or to a package-level variable
+//     is visible to every column and yields a CrossColumn witness; a write
+//     through the outer index stays inside its column and yields a
+//     ColumnOrder witness. Compound assignments (+=, |=, …), increments,
+//     and writes to work-local variables are treated as commutative
+//     reductions or private state and yield no witness, matching how the
+//     paper (and internal/depcheck) discount reductions.
+//
+// Like the paper's tool, opaque calls in the work body are trusted — the
+// annotation asserts their soundness; the dynamic analysis in
+// internal/depcheck (see FromDependences) is the cross-check.
+func FromTemplate(t *transform.Template) WitnessSet {
+	var ws WitnessSet
+	o, i := t.OName, t.IName
+	if t.Irregular() {
+		ws.Add(Witness{
+			Kind:   WitnessOuterTrunc,
+			Source: fmt.Sprintf("(%s, %s)", o, i),
+			Sink:   fmt.Sprintf("(%s', %s)", o, i),
+			Evidence: fmt.Sprintf("inner truncation depends on the outer index: `%s`",
+				renderExpr(token.NewFileSet(), t.TruncInner2)),
+		})
+	}
+	locals := workLocals(t.Work)
+	for _, st := range t.Work {
+		ast.Inspect(st, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				root, isBare := rootIdent(lhs)
+				if root == "" || root == "_" || locals[root] {
+					continue
+				}
+				if isBare && (root == o || root == i) {
+					continue // rebinding a parameter: private state
+				}
+				switch root {
+				case i:
+					ws.Add(Witness{
+						Kind:   WitnessCrossColumn,
+						Source: fmt.Sprintf("(%s, %s)", o, i),
+						Sink:   fmt.Sprintf("(%s', %s)", o, i),
+						Evidence: fmt.Sprintf("work writes through the inner index, visible to every outer column: `%s`",
+							renderStmt(st)),
+					})
+				case o:
+					ws.Add(Witness{
+						Kind:   WitnessColumnOrder,
+						Source: fmt.Sprintf("(%s, %s)", o, i),
+						Sink:   fmt.Sprintf("(%s, %s')", o, i),
+						Evidence: fmt.Sprintf("work writes through the outer index; the column's inner order must be preserved: `%s`",
+							renderStmt(st)),
+					})
+				default:
+					ws.Add(Witness{
+						Kind:   WitnessCrossColumn,
+						Source: fmt.Sprintf("(%s, %s)", o, i),
+						Sink:   fmt.Sprintf("(%s', %s')", o, i),
+						Evidence: fmt.Sprintf("work overwrites shared state `%s`: `%s`",
+							root, renderStmt(st)),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return ws
+}
+
+// ForNest returns the witness set of a well-formed engine spec: engine
+// workloads honor the nest contract (columns independent up to commutative
+// reductions), so the only static witness is the OuterTrunc one of an
+// irregular space.
+func ForNest(irregular bool) WitnessSet {
+	var ws WitnessSet
+	if irregular {
+		ws.Add(Witness{
+			Kind:     WitnessOuterTrunc,
+			Source:   "(o, i)",
+			Sink:     "(o', i)",
+			Evidence: "Spec.TruncInner2 is set (outer-dependent truncation)",
+		})
+	}
+	return ws
+}
+
+// FromSpec is ForNest for a concrete engine spec.
+func FromSpec(s nest.Spec) WitnessSet { return ForNest(s.TruncInner2 != nil) }
+
+// FromDependences converts a dynamic dependence analysis into witnesses:
+// each sampled cross-column conflict becomes a concrete CrossColumn witness
+// tuple, and an inner-carried result becomes a ColumnOrder witness. This is
+// how a depcheck run certifies (or refutes) a schedule for a concrete
+// input.
+func FromDependences(r depcheck.Result) WitnessSet {
+	var ws WitnessSet
+	switch r.Kind {
+	case depcheck.CrossColumn:
+		for _, c := range r.Conflicts {
+			ws.Add(Witness{
+				Kind:     WitnessCrossColumn,
+				Source:   fmt.Sprintf("(o=%d, ·)", c.FirstOuter),
+				Sink:     fmt.Sprintf("(o=%d, ·)", c.SecondOuter),
+				Evidence: c.String(),
+			})
+		}
+		if len(r.Conflicts) == 0 {
+			ws.Add(Witness{
+				Kind:     WitnessCrossColumn,
+				Source:   "(o, i)",
+				Sink:     "(o', i')",
+				Evidence: "dynamic analysis found a cross-column dependence (no sample retained)",
+			})
+		}
+	case depcheck.InnerCarried:
+		ws.Add(Witness{
+			Kind:     WitnessColumnOrder,
+			Source:   "(o, i)",
+			Sink:     "(o, i')",
+			Evidence: "dynamic analysis found inner-carried dependences",
+		})
+	}
+	return ws
+}
+
+// workLocals collects the names a work body declares itself (:=, var);
+// writes to them are private per iteration and carry no dependence.
+func workLocals(work []ast.Stmt) map[string]bool {
+	locals := map[string]bool{}
+	for _, st := range work {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				if v.Tok == token.DEFINE {
+					for _, lhs := range v.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							locals[id.Name] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range v.Names {
+					locals[id.Name] = true
+				}
+			case *ast.RangeStmt:
+				if v.Tok == token.DEFINE {
+					for _, e := range []ast.Expr{v.Key, v.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							locals[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return locals
+}
+
+// rootIdent unwraps an assignment target to its base identifier, reporting
+// whether the target is the bare identifier itself (x = …) rather than a
+// path through it (x.f = …, x[k] = …, *x = …).
+func rootIdent(e ast.Expr) (name string, bare bool) {
+	descended := false
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name, !descended
+		case *ast.SelectorExpr:
+			e, descended = v.X, true
+		case *ast.IndexExpr:
+			e, descended = v.X, true
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e, descended = v.X, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// renderExpr pretty-prints an expression against its file set.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return b.String()
+}
+
+// renderStmt pretty-prints a statement (template work statements carry no
+// original positions, so a fresh file set suffices).
+func renderStmt(st ast.Stmt) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, token.NewFileSet(), st); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return b.String()
+}

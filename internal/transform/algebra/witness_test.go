@@ -1,0 +1,247 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"twist/internal/depcheck"
+	"twist/internal/nest"
+	"twist/internal/transform"
+	"twist/internal/tree"
+)
+
+// parseTemplate parses a template source, failing the test on error.
+func parseTemplate(t *testing.T, src string) *transform.Template {
+	t.Helper()
+	tmpl, err := transform.ParseFile("test.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmpl
+}
+
+// templateSrc builds a two-function template with the given inner guard and
+// work statement.
+func templateSrc(innerGuard, work string) string {
+	return `package p
+
+//twist:outer
+func Outer(o *Node, i *Node) {
+	if o == nil {
+		return
+	}
+	Inner(o, i)
+	Outer(o.Left, i)
+	Outer(o.Right, i)
+}
+
+//twist:inner
+func Inner(o *Node, i *Node) {
+	if ` + innerGuard + ` {
+		return
+	}
+	` + work + `
+	Inner(o, i.Left)
+	Inner(o, i.Right)
+}
+`
+}
+
+// Illegal composition 1: an unflagged twist over an irregular space. The
+// violation must carry the outer-dependent-truncation witness quoting the
+// truncation expression, not a bare refusal.
+func TestUnflaggedTwistOnIrregularSpace(t *testing.T) {
+	t.Parallel()
+	tmpl := parseTemplate(t, templateSrc("i == nil || prune(o, i)", "work(o, i)"))
+	ws := FromTemplate(tmpl)
+	if _, ok := ws.First(WitnessOuterTrunc); !ok {
+		t.Fatal("no OuterTrunc witness extracted from irregular template")
+	}
+
+	v := MustParseSchedule("twist").Check(ws)
+	if v == nil {
+		t.Fatal("unflagged twist accepted on an irregular space")
+	}
+	msg := v.Error()
+	for _, want := range []string{
+		"truncation-flag protocol",
+		"outer-dependent-truncation witness",
+		"prune(o, i)",
+		"compose twist(flagged) instead",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation %q missing %q", msg, want)
+		}
+	}
+
+	// Illegal composition 2: strip mining does not launder the missing flag
+	// protocol — stripmine(64)∘twist is just as illegal.
+	if v := MustParseSchedule("stripmine(64)∘twist").Check(ws); v == nil {
+		t.Error("stripmine(64)∘twist accepted on an irregular space")
+	} else if v.Witness.Kind != WitnessOuterTrunc {
+		t.Errorf("witness kind %v, want OuterTrunc", v.Witness.Kind)
+	}
+
+	// The flagged twist and interchange carry / don't need the protocol.
+	for _, expr := range []string{"twist(flagged)", "stripmine(64)∘twist(flagged)", "interchange", "identity", "inline(2)∘twist(flagged)"} {
+		if v := MustParseSchedule(expr).Check(ws); v != nil {
+			t.Errorf("%s rejected on an irregular space: %v", expr, v)
+		}
+	}
+}
+
+// Illegal composition 3: interchange over a template whose work writes
+// through the inner index — a cross-column dependence. The §3.3 criterion
+// fails for every reordering core.
+func TestInterchangeOnCrossColumnWrite(t *testing.T) {
+	t.Parallel()
+	tmpl := parseTemplate(t, templateSrc("i == nil", "i.acc = o.val"))
+	ws := FromTemplate(tmpl)
+
+	v := MustParseSchedule("interchange").Check(ws)
+	if v == nil {
+		t.Fatal("interchange accepted despite a cross-column write")
+	}
+	msg := v.Error()
+	for _, want := range []string{
+		"reorders outer columns",
+		"§3.3",
+		"cross-column witness",
+		"writes through the inner index",
+		"i.acc = o.val",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation %q missing %q", msg, want)
+		}
+	}
+
+	// Illegal composition 4: the flag protocol is about truncation, not
+	// cross-column writes — twist(flagged) is illegal here too.
+	if v := MustParseSchedule("twist(flagged)").Check(ws); v == nil {
+		t.Error("twist(flagged) accepted despite a cross-column write")
+	} else if v.Witness.Kind != WitnessCrossColumn {
+		t.Errorf("witness kind %v, want CrossColumn", v.Witness.Kind)
+	}
+
+	// Identity (and pure inlining) never reorders; both stay legal.
+	for _, expr := range []string{"identity", "inline(2)"} {
+		if v := MustParseSchedule(expr).Check(ws); v != nil {
+			t.Errorf("%s rejected: %v", expr, v)
+		}
+	}
+}
+
+// Writes to package-level shared state are cross-column witnesses too.
+func TestSharedStateWrite(t *testing.T) {
+	t.Parallel()
+	tmpl := parseTemplate(t, templateSrc("i == nil", "total.sum = o.val + i.val"))
+	ws := FromTemplate(tmpl)
+	w, ok := ws.First(WitnessCrossColumn)
+	if !ok {
+		t.Fatal("no CrossColumn witness for shared-state write")
+	}
+	if !strings.Contains(w.Evidence, "shared state `total`") {
+		t.Errorf("evidence %q does not name the shared state", w.Evidence)
+	}
+	if v := MustParseSchedule("twisted").Check(ws); v == nil {
+		t.Error("twisted accepted despite shared-state write")
+	}
+}
+
+// Writes through the outer index stay within their column: a ColumnOrder
+// witness is recorded (for the proof) but never violated, matching §3.3's
+// per-column order preservation.
+func TestColumnOrderWitnessNeverViolated(t *testing.T) {
+	t.Parallel()
+	tmpl := parseTemplate(t, templateSrc("i == nil", "o.acc = o.acc + i.val"))
+	ws := FromTemplate(tmpl)
+	if _, ok := ws.First(WitnessColumnOrder); !ok {
+		t.Fatal("no ColumnOrder witness for outer-index write")
+	}
+	if _, ok := ws.First(WitnessCrossColumn); ok {
+		t.Fatal("outer-index write misclassified as cross-column")
+	}
+	for _, expr := range []string{"interchange", "twist(flagged)", "stripmine(64)∘twist(flagged)", "twist"} {
+		if v := MustParseSchedule(expr).Check(ws); v != nil {
+			t.Errorf("%s rejected by a column-order witness: %v", expr, v)
+		}
+	}
+}
+
+// Commutative reductions (+=), work-local variables, and blank writes carry
+// no dependence witness — the paper's reduction discount.
+func TestReductionAndLocalWritesDiscounted(t *testing.T) {
+	t.Parallel()
+	for _, work := range []string{
+		"i.acc += o.val",
+		"tmp := o.val + i.val; _ = tmp",
+		"var buf int; buf = i.val; _ = buf",
+	} {
+		tmpl := parseTemplate(t, templateSrc("i == nil", work))
+		ws := FromTemplate(tmpl)
+		if _, ok := ws.First(WitnessCrossColumn); ok {
+			t.Errorf("work %q yielded a spurious cross-column witness", work)
+		}
+	}
+}
+
+func TestForNestAndFromSpec(t *testing.T) {
+	t.Parallel()
+	if got := len(ForNest(false).Witnesses()); got != 0 {
+		t.Fatalf("regular nest has %d witnesses, want 0", got)
+	}
+	ws := ForNest(true)
+	if _, ok := ws.First(WitnessOuterTrunc); !ok {
+		t.Fatal("irregular nest missing OuterTrunc witness")
+	}
+	var spec nest.Spec
+	if got := len(FromSpec(spec).Witnesses()); got != 0 {
+		t.Fatalf("zero spec has %d witnesses, want 0", got)
+	}
+	spec.TruncInner2 = func(o, i tree.NodeID) bool { return false }
+	if _, ok := FromSpec(spec).First(WitnessOuterTrunc); !ok {
+		t.Fatal("spec with TruncInner2 missing OuterTrunc witness")
+	}
+}
+
+func TestFromDependences(t *testing.T) {
+	t.Parallel()
+	ws := FromDependences(depcheck.Result{Kind: depcheck.CrossColumn})
+	w, ok := ws.First(WitnessCrossColumn)
+	if !ok {
+		t.Fatal("CrossColumn result yielded no witness")
+	}
+	if !strings.Contains(w.Evidence, "cross-column") {
+		t.Errorf("fallback evidence %q", w.Evidence)
+	}
+	if v := MustParseSchedule("interchange").Check(ws); v == nil {
+		t.Error("interchange accepted against a dynamic cross-column result")
+	}
+
+	ws = FromDependences(depcheck.Result{Kind: depcheck.InnerCarried})
+	if _, ok := ws.First(WitnessColumnOrder); !ok {
+		t.Fatal("InnerCarried result yielded no ColumnOrder witness")
+	}
+	if v := MustParseSchedule("twisted").Check(ws); v != nil {
+		t.Errorf("twisted rejected against inner-carried-only result: %v", v)
+	}
+
+	if got := len(FromDependences(depcheck.Result{Kind: depcheck.Independent}).Witnesses()); got != 0 {
+		t.Fatalf("independent result has %d witnesses, want 0", got)
+	}
+}
+
+// The witness kinds print their documented names.
+func TestWitnessKindString(t *testing.T) {
+	t.Parallel()
+	for k, want := range map[WitnessKind]string{
+		WitnessCrossColumn: "cross-column",
+		WitnessOuterTrunc:  "outer-dependent-truncation",
+		WitnessColumnOrder: "column-order",
+		WitnessKind(42):    "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("WitnessKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"go/parser"
 	"go/printer"
 	"go/token"
+	"sort"
 	"strings"
 
 	"twist/internal/nest"
@@ -110,7 +111,100 @@ func GenerateVariants(t *Template, variants []nest.Variant) ([]byte, error) {
 			return nil, fmt.Errorf("transform: unknown variant kind %d", v.Kind)
 		}
 	}
-	g := &generator{t: t, want: want}
+	return generate(t, want, nil)
+}
+
+// InlineFamily names the schedule family an inlined variant is based on.
+type InlineFamily int
+
+// The four families an InlineRequest can unroll: the original schedule and
+// the three transformed ones.
+const (
+	InlineOriginal InlineFamily = iota
+	InlineInterchanged
+	InlineTwisted
+	InlineTwistedCutoff
+)
+
+// InlineRequest asks for one inlined variant: the family's work-executing
+// inner recursion unrolled Depth levels per call (the schedule algebra's
+// inline(K) transformation). Inlining is supported for regular templates
+// only — unrolling through the Fig 6(b) truncation-flag protocol is not.
+type InlineRequest struct {
+	Family InlineFamily
+	Depth  int
+}
+
+// GenerateWithInline is the schedule-driven generator entry point: it emits
+// the requested legacy families (here an empty variants list means *none*,
+// unlike GenerateVariants) followed by the requested inlined variants. With
+// no inline requests and the same families the output is byte-identical to
+// GenerateVariants. Inlined variants use only their own Inline<N>-suffixed
+// helpers, so a file holding them composes with a separately generated
+// legacy file.
+func GenerateWithInline(t *Template, variants []nest.Variant, inline []InlineRequest) ([]byte, error) {
+	var want variantSet
+	for _, v := range variants {
+		switch v.Kind {
+		case nest.KindInterchanged:
+			want.interchanged = true
+		case nest.KindTwisted:
+			want.twisted = true
+		case nest.KindTwistedCutoff:
+			want.cutoff = true
+		case nest.KindOriginal:
+			return nil, fmt.Errorf("transform: %q is the input schedule; nothing to generate", v)
+		default:
+			return nil, fmt.Errorf("transform: unknown variant kind %d", v.Kind)
+		}
+	}
+	reqs, err := normalizeInline(t, inline)
+	if err != nil {
+		return nil, err
+	}
+	if !want.interchanged && !want.twisted && !want.cutoff && len(reqs) == 0 {
+		return nil, fmt.Errorf("transform: nothing to generate (no families or inline requests)")
+	}
+	return generate(t, want, reqs)
+}
+
+// maxInlineDepth mirrors the schedule algebra's bound on inline(K).
+const maxInlineDepth = 8
+
+// normalizeInline validates, deduplicates, and sorts inline requests.
+func normalizeInline(t *Template, inline []InlineRequest) ([]InlineRequest, error) {
+	if len(inline) == 0 {
+		return nil, nil
+	}
+	if t.Irregular() {
+		return nil, fmt.Errorf("transform: inlining is not supported on irregular templates (unrolling through the truncation-flag protocol)")
+	}
+	seen := map[InlineRequest]bool{}
+	var reqs []InlineRequest
+	for _, r := range inline {
+		if r.Family < InlineOriginal || r.Family > InlineTwistedCutoff {
+			return nil, fmt.Errorf("transform: unknown inline family %d", r.Family)
+		}
+		if r.Depth < 1 || r.Depth > maxInlineDepth {
+			return nil, fmt.Errorf("transform: inline depth %d out of range 1..%d", r.Depth, maxInlineDepth)
+		}
+		if !seen[r] {
+			seen[r] = true
+			reqs = append(reqs, r)
+		}
+	}
+	sort.Slice(reqs, func(a, b int) bool {
+		if reqs[a].Family != reqs[b].Family {
+			return reqs[a].Family < reqs[b].Family
+		}
+		return reqs[a].Depth < reqs[b].Depth
+	})
+	return reqs, nil
+}
+
+// generate runs the generator and the format/parse sanity gates.
+func generate(t *Template, want variantSet, inline []InlineRequest) ([]byte, error) {
+	g := &generator{t: t, want: want, inline: inline}
 	src, err := g.file()
 	if err != nil {
 		return nil, err
@@ -127,9 +221,10 @@ func GenerateVariants(t *Template, variants []nest.Variant) ([]byte, error) {
 }
 
 type generator struct {
-	t    *Template
-	want variantSet
-	b    bytes.Buffer
+	t      *Template
+	want   variantSet
+	inline []InlineRequest
+	b      bytes.Buffer
 }
 
 func (g *generator) pf(format string, args ...any) {
@@ -175,6 +270,9 @@ func (g *generator) file() ([]byte, error) {
 	if t.Irregular() {
 		g.pf(",\n// with truncation flags for the irregular iteration space (Fig 6b)")
 	}
+	if len(g.inline) > 0 {
+		g.pf(",\n// plus inlined variants (the schedule algebra's inline(K) transformation)")
+	}
 	g.pf(".\n\n")
 	g.pf("package %s\n\n", t.File.Name.Name)
 
@@ -198,6 +296,7 @@ func (g *generator) file() ([]byte, error) {
 	if g.want.cutoff {
 		g.twistedCutoff()
 	}
+	g.inlineDecls()
 	return g.b.Bytes(), nil
 }
 
@@ -383,4 +482,199 @@ func (g *generator) innerTwisted() {
 		g.pf("\t%s(%s, %s)\n", g.innerTwName(), o, g.expr(c))
 	}
 	g.pf("}\n")
+}
+
+// --- inlined variants (schedule algebra inline(K)) ----------------------
+//
+// Unrolling uses shadowed index rebinding — `i := i.Left` inside a nested
+// block — so the template's work, truncation, and child expressions are
+// reused verbatim at every unrolled level, with no identifier substitution.
+// The unrolled frontier recurses into the inlined function itself, keeping
+// the visit order exactly that of the un-inlined family.
+
+// inlineName suffixes a generated function name for an inline depth.
+func inlineName(base string, depth int) string {
+	return fmt.Sprintf("%sInline%d", base, depth)
+}
+
+// inlineDecls emits the requested inlined variants: first the shared
+// inlined inner recursions (one per orientation and depth), then one driver
+// set per requested family.
+func (g *generator) inlineDecls() {
+	if len(g.inline) == 0 {
+		return
+	}
+	needInner := map[int]bool{}   // original-orientation inlined inner
+	needInnerSw := map[int]bool{} // swapped-orientation inlined inner
+	for _, r := range g.inline {
+		switch r.Family {
+		case InlineOriginal:
+			needInner[r.Depth] = true
+		case InlineInterchanged:
+			needInnerSw[r.Depth] = true
+		default: // twisting families visit both orientations
+			needInner[r.Depth] = true
+			needInnerSw[r.Depth] = true
+		}
+	}
+	g.pf("\n")
+	for _, d := range sortedKeys(needInner) {
+		g.innerInlined(d, false)
+	}
+	for _, d := range sortedKeys(needInnerSw) {
+		g.innerInlined(d, true)
+	}
+	for _, r := range g.inline {
+		switch r.Family {
+		case InlineOriginal:
+			g.originalInlined(r.Depth)
+		case InlineInterchanged:
+			g.interchangedInlined(r.Depth)
+		case InlineTwisted:
+			g.twistedInlined(r.Depth, false)
+		case InlineTwistedCutoff:
+			g.twistedInlined(r.Depth, true)
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// innerInlined emits the work-executing recursion of one orientation with
+// depth levels unrolled per call. swapped selects the interchanged
+// orientation (fixed inner node, outer tree descent).
+func (g *generator) innerInlined(depth int, swapped bool) {
+	t := g.t
+	base, moving, guard, children := g.innerName(), t.IName, t.TruncInner1, t.InnerChildren
+	orient := "original"
+	if swapped {
+		base, moving, guard, children = g.innerSwName(), t.OName, t.TruncOuter, t.OuterChildren
+		orient = "interchanged"
+	}
+	name := inlineName(base, depth)
+	g.pf("// %s runs the %s-orientation work recursion with %d level(s)\n", name, orient, depth)
+	g.pf("// unrolled per call (inline(%d)): each unrolled level rebinds the moving\n", depth)
+	g.pf("// index in a nested scope, so call and truncation-test overhead is paid\n")
+	g.pf("// once per unrolled subtree. The visit order is unchanged.\n")
+	g.pf("func %s(%s) {\n", name, g.sig())
+	g.pf("\tif %s {\n\t\treturn\n\t}\n", g.expr(guard))
+	g.b.WriteString(g.workBody("\t"))
+	g.inlineLevel(name, moving, guard, children, swapped, depth, 1)
+	g.pf("}\n\n")
+}
+
+// inlineLevel emits one unrolled descent level: a nested scope per child
+// that rebinds the moving index, re-tests truncation, runs the work, and
+// either unrolls further or falls back to the recursive call.
+func (g *generator) inlineLevel(self, moving string, guard ast.Expr, children []ast.Expr, swapped bool, remaining, depth int) {
+	t := g.t
+	ind := strings.Repeat("\t", depth)
+	for _, c := range children {
+		ce := g.expr(c)
+		if remaining == 0 {
+			if swapped {
+				g.pf("%s%s(%s, %s)\n", ind, self, ce, t.IName)
+			} else {
+				g.pf("%s%s(%s, %s)\n", ind, self, t.OName, ce)
+			}
+			continue
+		}
+		g.pf("%s{\n", ind)
+		g.pf("%s\t%s := %s\n", ind, moving, ce)
+		g.pf("%s\tif !(%s) {\n", ind, g.expr(guard))
+		g.b.WriteString(g.workBody(strings.Repeat("\t", depth+2)))
+		g.inlineLevel(self, moving, guard, children, swapped, remaining-1, depth+2)
+		g.pf("%s\t}\n", ind)
+		g.pf("%s}\n", ind)
+	}
+}
+
+// originalInlined emits the original schedule driving the inlined inner
+// recursion.
+func (g *generator) originalInlined(depth int) {
+	t := g.t
+	o, i := t.OName, t.IName
+	name := inlineName(g.outerName(), depth)
+	g.pf("// %s is the original schedule with the inner recursion\n", name)
+	g.pf("// unrolled %d level(s) (inline(%d)∘identity).\n", depth, depth)
+	g.pf("func %s(%s) {\n", name, g.sig())
+	g.pf("\tif %s {\n\t\treturn\n\t}\n", g.expr(t.TruncOuter))
+	g.pf("\t%s(%s, %s)\n", inlineName(g.innerName(), depth), o, i)
+	for _, c := range t.OuterChildren {
+		g.pf("\t%s(%s, %s)\n", name, g.expr(c), i)
+	}
+	g.pf("}\n\n")
+}
+
+// interchangedInlined emits the interchanged schedule driving the inlined
+// swapped inner recursion.
+func (g *generator) interchangedInlined(depth int) {
+	t := g.t
+	o, i := t.OName, t.IName
+	name := inlineName(g.outerSwName(), depth)
+	g.pf("// %s is recursion interchange with the swapped inner recursion\n", name)
+	g.pf("// unrolled %d level(s) (inline(%d)∘interchange).\n", depth, depth)
+	g.pf("func %s(%s) {\n", name, g.sig())
+	g.pf("\tif %s {\n\t\treturn\n\t}\n", g.expr(t.TruncInner1))
+	g.pf("\tif %s { // empty outer region: nothing to traverse\n\t\treturn\n\t}\n", g.expr(t.TruncOuter))
+	g.pf("\t%s(%s, %s)\n", inlineName(g.innerSwName(), depth), o, i)
+	for _, c := range t.InnerChildren {
+		g.pf("\t%s(%s, %s)\n", name, o, g.expr(c))
+	}
+	g.pf("}\n\n")
+}
+
+// twistedInlined emits the twisting pair (optionally cutoff-bounded)
+// driving the inlined inner recursions of both orientations.
+func (g *generator) twistedInlined(depth int, cutoff bool) {
+	t := g.t
+	o, i := t.OName, t.IName
+	fwdBase, swBase, comp := g.outerTwName(), g.outerTwSwName(), "twist"
+	param, arg := "", ""
+	if cutoff {
+		fwdBase, swBase, comp = g.outerCutName(), g.outerCutSwName(), "stripmine(N)∘twist"
+		param, arg = ", cutoff int", ", cutoff"
+	}
+	fwd, sw := inlineName(fwdBase, depth), inlineName(swBase, depth)
+
+	g.pf("// %s is recursion twisting (%s) with the work recursions\n", fwd, comp)
+	g.pf("// of both orientations unrolled %d level(s) (inline(%d)).\n", depth, depth)
+	g.pf("func %s(%s%s) {\n", fwd, g.sig(), param)
+	g.pf("\tif %s {\n\t\treturn\n\t}\n", g.expr(t.TruncOuter))
+	g.pf("\t%s(%s, %s)\n", inlineName(g.innerName(), depth), o, i)
+	for _, c := range t.OuterChildren {
+		ce := g.expr(c)
+		if cutoff {
+			g.pf("\tif %s(%s) <= %s(%s) && %s(%s) > cutoff {\n", t.SizeFn, ce, t.SizeFn, i, t.SizeFn, i)
+		} else {
+			g.pf("\tif %s(%s) <= %s(%s) {\n", t.SizeFn, ce, t.SizeFn, i)
+		}
+		g.pf("\t\t%s(%s, %s%s)\n", sw, ce, i, arg)
+		g.pf("\t} else {\n")
+		g.pf("\t\t%s(%s, %s%s)\n", fwd, ce, i, arg)
+		g.pf("\t}\n")
+	}
+	g.pf("}\n\n")
+
+	g.pf("// %s is the swapped orientation of %s.\n", sw, fwd)
+	g.pf("func %s(%s%s) {\n", sw, g.sig(), param)
+	g.pf("\tif %s {\n\t\treturn\n\t}\n", g.expr(t.TruncInner1))
+	g.pf("\tif %s { // empty outer region: nothing to traverse\n\t\treturn\n\t}\n", g.expr(t.TruncOuter))
+	g.pf("\t%s(%s, %s)\n", inlineName(g.innerSwName(), depth), o, i)
+	for _, c := range t.InnerChildren {
+		ce := g.expr(c)
+		g.pf("\tif %s(%s) <= %s(%s) {\n", t.SizeFn, ce, t.SizeFn, o)
+		g.pf("\t\t%s(%s, %s%s)\n", fwd, o, ce, arg)
+		g.pf("\t} else {\n")
+		g.pf("\t\t%s(%s, %s%s)\n", sw, o, ce, arg)
+		g.pf("\t}\n")
+	}
+	g.pf("}\n\n")
 }

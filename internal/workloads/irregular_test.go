@@ -1,0 +1,25 @@
+package workloads
+
+import "testing"
+
+// The static Irregular classification must agree with the built instances:
+// a benchmark is irregular exactly when its Spec carries the
+// outer-dependent truncation predicate.
+func TestIrregularMatchesInstances(t *testing.T) {
+	t.Parallel()
+	for _, in := range Suite(256, 1) {
+		static, err := Irregular(in.Name)
+		if err != nil {
+			t.Fatalf("Irregular(%q): %v", in.Name, err)
+		}
+		if built := in.Spec.TruncInner2 != nil; static != built {
+			t.Errorf("Irregular(%q) = %v, but the built instance says %v", in.Name, static, built)
+		}
+	}
+	if _, err := Irregular("tj"); err == nil {
+		t.Error("Irregular accepted a non-canonical name")
+	}
+	if _, err := Irregular("bogus"); err == nil {
+		t.Error("Irregular accepted an unknown name")
+	}
+}

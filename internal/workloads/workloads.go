@@ -504,6 +504,23 @@ func Names() []string {
 	return []string{"TJ", "MM", "PC", "NN", "KNN", "VP"}
 }
 
+// Irregular reports whether the named benchmark's iteration space is
+// irregular (Spec.TruncInner2 set): the dual-tree benchmarks prune inner
+// subtrees based on the outer traversal state, while TJ and MM are
+// rectangular. The classification is static — it holds at every scale and
+// seed — which lets schedule legality (internal/transform/algebra) be
+// checked without building an instance. The name must be canonical (see
+// CanonicalName).
+func Irregular(name string) (bool, error) {
+	switch name {
+	case "TJ", "MM":
+		return false, nil
+	case "PC", "NN", "KNN", "VP":
+		return true, nil
+	}
+	return false, fmt.Errorf("workloads: unknown workload %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
 // CanonicalName maps a benchmark name, case-insensitively, to its canonical
 // suite abbreviation, or reports an error naming the valid set.
 func CanonicalName(name string) (string, error) {

@@ -42,6 +42,7 @@ import (
 	"twist/internal/loopnest"
 	"twist/internal/nest"
 	"twist/internal/sched"
+	"twist/internal/transform/algebra"
 	"twist/internal/tree"
 )
 
@@ -93,12 +94,37 @@ const (
 	FlagCounter = nest.FlagCounter
 )
 
-// Variant selects a schedule.
+// Variant selects an engine schedule. The four constructors are the
+// canonical points of the composable schedule algebra; see Schedule for the
+// general form.
 type Variant = nest.Variant
 
 // ParseVariant parses a Variant from its String form: "original",
 // "interchanged" (or "interchange"), "twisted", "twisted-cutoff[:N]".
+//
+// Deprecated: use ParseSchedule, which accepts every variant name plus the
+// full schedule-expression grammar, and lower with Schedule.Variant.
 func ParseVariant(name string) (Variant, error) { return nest.ParseVariant(name) }
+
+// Schedule is a normalized composition of schedule transformations — code
+// motion (twisting), interchange, strip mining, and inlining — the general
+// form of the four Variant constructors. Every composition normalizes to
+// the canonical form [inline(k)∘][stripmine(c)∘]core; schedules are
+// legality-checked against dependence witnesses, and inline-free schedules
+// lower exactly onto a Variant via Schedule.Variant. The zero value is the
+// identity schedule.
+type Schedule = algebra.Schedule
+
+// ParseSchedule parses a schedule expression — terms joined by ∘ (or the
+// ASCII "."), e.g. "stripmine(64)∘twist(flagged)" or "inline(2)∘twisted".
+// Every ParseVariant name is a valid expression, and
+// ParseSchedule(s.String()) == s for every schedule s.
+func ParseSchedule(expr string) (Schedule, error) { return algebra.ParseSchedule(expr) }
+
+// ScheduleOf expresses an engine variant as its canonical schedule:
+// Original() = identity, Interchanged() = interchange, Twisted() =
+// twist(flagged), TwistedCutoff(N) = stripmine(N)∘twist(flagged).
+func ScheduleOf(v Variant) (Schedule, error) { return algebra.FromVariant(v) }
 
 // New returns an Exec for the given spec.
 func New(s Spec) (*Exec, error) { return nest.New(s) }
