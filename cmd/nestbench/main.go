@@ -13,7 +13,9 @@
 //	nestbench -exp fig10                 # PC cutoff study
 //	nestbench -exp iters                 # §4.2 iteration counts
 //	nestbench -exp inventory             # benchmark inventory (§6.1)
+//	nestbench -exp layout                # arena layout × schedule miss rates
 //	nestbench -exp bench -variant ...    # suite under one schedule
+//	nestbench -exp bench -layout veb     # ... under a repacked arena layout
 //	nestbench -oracle                    # semantic-equivalence smoke (§4.9)
 //
 // Observability (DESIGN.md §4.7):
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"twist/internal/experiments"
+	"twist/internal/layout"
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
@@ -66,6 +69,7 @@ type opts struct {
 	simWorkers int
 	variant    nest.Variant
 	raw        string // -variant as typed, for params
+	layout     layout.Kind
 }
 
 // experiment is one registered harness. run prints the human-readable table
@@ -90,8 +94,9 @@ var registry = []experiment{
 	{"fig10", "fig10: PC cutoff study (§7.1)", "-pcn -radius -seed -repeats -workers", true, fig10},
 	{"ablation", "ablation: flag modes / subtree truncation / node stride (DESIGN.md §4.5)", "-pcn -radius -seed -repeats -geometry", true, ablation},
 	{"kary", "kary: octree (8-ary) point correlation extension (§2.1 generality)", "-pcn -seed -geometry", true, kary},
+	{"layout", "layout: arena layout × schedule miss rates (DESIGN.md §4.12)", "-scale -seed -simworkers -geometry", true, layoutExp},
 	{"iters", "iters: §4.2 iteration counts, PC", "-pcn -radius -seed", true, iters},
-	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant", false, bench},
+	{"bench", "bench: suite under one schedule", "-scale -seed -repeats -workers -variant -layout", false, bench},
 	{"oracle", "oracle: semantic-equivalence smoke (DESIGN.md §4.9)", "-scale -seed -workers", false, oracleSmoke},
 	{"schedules", "schedules: algebra enumeration, legality × oracle", "-scale -seed", false, schedulesExp},
 }
@@ -111,6 +116,8 @@ func usage(fs *flag.FlagSet, w io.Writer) {
 			note = "-workers >= 1 adds the §7.3 parallel columns; -simworkers >= 1 adds the sim-engine columns"
 		case "fig10":
 			note = "-workers >= 1 times all schedules under the work-stealing executor"
+		case "layout":
+			note = "the \"wins\" row is the CI-gated acceptance signal (DESIGN.md §4.12)"
 		case "bench":
 			note = "not part of -exp all"
 		case "oracle":
@@ -137,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nestbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, inventory, bench, all")
+		exp        = fs.String("exp", "all", "experiment: fig5, fig7, fig8a, fig8b, fig9, fig10, iters, ablation, kary, layout, inventory, bench, all")
 		scale      = fs.Int("scale", 16384, "suite scale for fig7/fig8a/fig8b/bench (points per dual-tree benchmark)")
 		n          = fs.Int("n", 1024, "tree size for fig5")
 		pcN        = fs.Int("pcn", 8192, "PC input size for fig10/ablation/kary/iters")
@@ -149,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		geometry   = fs.String("geometry", "", "simulated cache hierarchy, e.g. \"32K/64:8,256K/64:8,20M/64:20\" (empty = scaled default)")
 		variant    = fs.String("variant", "twisted", "schedule for -exp bench, legacy variant form (original, interchanged, twisted, twisted-cutoff[:N]); alias for -schedule")
 		schedule   = fs.String("schedule", "", "schedule for -exp bench as an algebra expression, e.g. \"stripmine(64)\u2218twist(flagged)\" (mutually exclusive with -variant)")
+		layoutF    = fs.String("layout", "", "arena layout for -exp bench: buildorder, hotcold, preorder, schedule, veb (empty = legacy build-order)")
 		oracleRun  = fs.Bool("oracle", false, "shorthand for -exp oracle: semantic-equivalence smoke over the suite")
 		jsonOut    = fs.String("json", "", "write BENCH_<exp>.json report(s): a file path for one experiment, a directory when several run")
 		baseline   = fs.String("baseline", "", "compare a single experiment's fresh run against this committed BENCH_<exp>.json")
@@ -209,6 +217,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageFail("inline(K) is a code-generation transformation; the engine cannot execute %q (use cmd/twist -schedules)", expr)
 	}
 	v := sched.Variant()
+	lk, err := layout.ParseKind(*layoutF)
+	if err != nil {
+		return usageFail("%v", err)
+	}
 	if *geometry != "" {
 		levels, err := memsim.ParseGeometry(*geometry)
 		if err != nil {
@@ -219,7 +231,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := opts{
 		scale: *scale, scaleSet: scaleSet, n: *n, pcN: *pcN, radius: *radius,
 		seed: *seed, repeats: *repeats, workers: *workers, simWorkers: *simWorkers,
-		variant: v, raw: expr,
+		variant: v, raw: expr, layout: lk,
 	}
 
 	var selected []experiment
@@ -373,6 +385,8 @@ func params(o opts, keys ...string) map[string]string {
 			out[k] = experiments.GeometryString()
 		case "variant":
 			out[k] = o.variant.String()
+		case "layout":
+			out[k] = o.layout.String()
 		default:
 			panic("nestbench: unknown param " + k)
 		}
@@ -456,17 +470,32 @@ func bench(o opts) (*obs.Report, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	rep := obs.NewReport("bench", params(o, "scale", "seed", "repeats", "workers", "variant"))
+	rep := obs.NewReport("bench", params(o, "scale", "seed", "repeats", "workers", "variant", "layout"))
 	w := table()
 	fmt.Fprintln(w, "bench\tschedule\twall\titerations\twork\tchecksum")
 	for _, in := range workloads.Suite(o.scale, o.seed) {
+		// -layout repacks the arena the run's traced addresses would be
+		// generated under and carries the dimension with the run
+		// (RunConfig.Layout). The semantic columns — iterations, work,
+		// checksum — must come out identical to the legacy arena: a layout
+		// renames storage slots and nothing else (DESIGN.md §4.12).
+		run := in
+		var cfgLayout string
+		if o.layout != layout.BuildOrder {
+			lin, err := in.UnderLayout(o.layout, o.variant)
+			if err != nil {
+				return nil, err
+			}
+			run = lin
+			cfgLayout = o.layout.String()
+		}
 		var st nest.Stats
 		var best time.Duration
 		mode := "seq"
 		for k := 0; k < repeats; k++ {
 			start := time.Now()
 			if o.workers >= 1 {
-				res, err := in.RunWith(nest.RunConfig{Variant: o.variant, Workers: o.workers, Stealing: true})
+				res, err := run.RunWith(nest.RunConfig{Variant: o.variant, Workers: o.workers, Stealing: true, Layout: cfgLayout})
 				if err != nil {
 					return nil, err
 				}
@@ -476,7 +505,7 @@ func bench(o opts) (*obs.Report, error) {
 				st = res.Stats
 				mode = fmt.Sprintf("w=%d", o.workers)
 			} else {
-				st = in.Run(o.variant, nest.FlagCounter)
+				st = run.Run(o.variant, nest.FlagCounter)
 			}
 			if wall := time.Since(start); k == 0 || wall < best {
 				best = wall
@@ -728,6 +757,36 @@ func boolInt(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// layoutExp sweeps the layout × schedule product (DESIGN.md §4.12): every
+// arena layout under the original and twisted schedules, six benchmarks,
+// deterministic simulated L2/L3 signals. The closing "wins" row counts the
+// benchmarks where a reordering layout (schedule-order or vEB) strictly
+// beats build-order on miss counts — the committed BENCH_layout.json pins
+// it and CI asserts it stays >= 2.
+func layoutExp(o opts) (*obs.Report, error) {
+	rows, err := experiments.LayoutSweep(o.scale, o.seed, o.simWorkers)
+	if err != nil {
+		return nil, err
+	}
+	rep := obs.NewReport("layout", params(o, "scale", "seed", "simworkers", "geometry"))
+	w := table()
+	fmt.Fprintln(w, "bench\tschedule\tlayout\tL2\tL3\tL2 misses\tL3 misses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f%%\t%.1f%%\t%d\t%d\n",
+			r.Bench, r.Schedule, r.Layout, 100*r.L2, 100*r.L3, r.L2Misses, r.L3Misses)
+		rep.AddRow(fmt.Sprintf("%s/%s/%s", r.Bench, r.Schedule, r.Layout)).
+			DetFloat("l2", r.L2).
+			DetFloat("l3", r.L3).
+			DetInt("l2_misses", r.L2Misses).
+			DetInt("l3_misses", r.L3Misses).
+			DetInt("accesses", r.Accesses)
+	}
+	wins := experiments.LayoutWins(rows)
+	fmt.Fprintf(w, "\nreordering wins\t%d benchmarks beat buildorder\n", wins)
+	rep.AddRow("wins").DetInt("benchmarks", int64(wins))
+	return rep, w.Flush()
 }
 
 func kary(o opts) (*obs.Report, error) {

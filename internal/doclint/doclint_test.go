@@ -1,8 +1,8 @@
 // Package doclint is a test-only lint: it fails the build's test step when a
-// package loses its godoc package comment, or when one of the
-// contract-bearing packages (obs, nest, memsim, sched) exports an
-// undocumented identifier. CI runs it as the doc-comment gate next to
-// go vet.
+// package loses its godoc package comment, when one of the contract-bearing
+// packages (obs, nest, memsim, sched) exports an undocumented identifier, or
+// when an internal package is missing from the DESIGN.md §2 system
+// inventory. CI runs it as the doc-comment gate next to go vet.
 package doclint
 
 import (
@@ -83,6 +83,42 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 		}
 		if !documented {
 			t.Errorf("package %s has no package doc comment in any of its files", rel)
+		}
+	}
+}
+
+// TestEveryInternalPackageIsInventoried requires every internal package to
+// hold a row in the DESIGN.md §2 system inventory: the section between the
+// "## 2." and "## 3." headings must mention the package's module-relative
+// import path. The inventory is the map readers navigate the repo by; a
+// package absent from it is a subsystem the documentation does not admit
+// exists.
+func TestEveryInternalPackageIsInventoried(t *testing.T) {
+	root := repoRoot(t)
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	section := string(design)
+	if i := strings.Index(section, "\n## 2."); i >= 0 {
+		section = section[i:]
+	} else {
+		t.Fatal("DESIGN.md has no \"## 2.\" heading")
+	}
+	if i := strings.Index(section[1:], "\n## "); i >= 0 {
+		section = section[:1+i]
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "testdata" {
+			continue
+		}
+		pkg := "internal/" + e.Name()
+		if !strings.Contains(section, pkg) {
+			t.Errorf("%s has no row in the DESIGN.md §2 system inventory", pkg)
 		}
 	}
 }

@@ -269,3 +269,24 @@ func DisjointMappers(n int, stride Addr) []Mapper {
 	}
 	return out
 }
+
+// Remapper is a Mapper composed with an old→new storage-slot permutation:
+// node id lives at Base + Perm[id]*Stride (Base + id*Stride when Perm is
+// nil). It is the address-generation form of an arena repacking pass
+// (internal/layout): the traversal keeps emitting node IDs, and the
+// Remapper realizes whatever packing the layout chose — which is equivalent
+// to physically rebuilding the arena, because simulated addresses are the
+// only observable the cache model has (DESIGN.md §4.12).
+type Remapper struct {
+	Base   Addr
+	Stride Addr
+	Perm   []int32 // old→new slot table; nil = identity
+}
+
+// Addr returns the address of node id under the permuted packing.
+func (r Remapper) Addr(id int32) Addr {
+	if r.Perm != nil {
+		id = r.Perm[id]
+	}
+	return r.Base + Addr(id)*r.Stride
+}

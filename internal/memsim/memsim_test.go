@@ -272,6 +272,19 @@ func TestMapperDisjoint(t *testing.T) {
 	}
 }
 
+func TestRemapper(t *testing.T) {
+	m := Remapper{Base: 1 << 30, Stride: 32, Perm: []int32{2, 0, 1}}
+	for id, slot := range m.Perm {
+		if got, want := m.Addr(int32(id)), Addr(1<<30)+Addr(slot)*32; got != want {
+			t.Fatalf("Addr(%d) = %#x, want %#x", id, got, want)
+		}
+	}
+	ident := Remapper{Base: 1 << 30, Stride: 64}
+	if ident.Addr(7) != (Mapper{Base: 1 << 30, Stride: 64}).Addr(7) {
+		t.Fatal("nil-perm Remapper disagrees with Mapper")
+	}
+}
+
 // Simulated LRU miss counts must agree with reuse-distance theory for a
 // fully-associative cache: an access misses iff its reuse distance (in
 // lines) is >= capacity. We emulate full associativity with a 1-set config.

@@ -74,6 +74,15 @@ type RunConfig struct {
 	// under.
 	SimWorkers int
 
+	// Layout names the arena layout (internal/layout) the run's traced
+	// addresses are generated under. Like SimWorkers it is a carried
+	// dimension: the executor never touches addresses — the harness applies
+	// the layout when it builds the trace (workloads.Instance.WithLayout) —
+	// but a run's telemetry must pin the layout it was measured under, so
+	// the dimension travels with the run and is reported as
+	// "nest.layout.<name>". Empty means the legacy build-order arena.
+	Layout string
+
 	// Recorder, when non-nil, receives the run's telemetry: the wall clock
 	// of the whole run ("nest.run"), the executor counters ("nest.tasks",
 	// "nest.steals", "nest.workers") and the merged operation counts
@@ -146,6 +155,9 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 		cfg.Recorder.Count("nest.workers", int64(res.Workers))
 		if cfg.SimWorkers > 0 {
 			cfg.Recorder.Count("nest.simworkers", int64(cfg.SimWorkers))
+		}
+		if cfg.Layout != "" {
+			cfg.Recorder.Count("nest.layout."+cfg.Layout, 1)
 		}
 		res.Stats.Record(cfg.Recorder, "nest")
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"twist/internal/layout"
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
@@ -30,6 +31,10 @@ type RunResult struct {
 	FlagMode   string `json:"flag_mode"`
 	SimWorkers int    `json:"sim_workers"`
 	Geometry   string `json:"geometry"`
+	// Layout is the arena layout the simulated miss rates were measured
+	// under; omitted for the default build-order arena, so pre-layout
+	// responses are byte-identical.
+	Layout string `json:"layout,omitempty"`
 
 	// Checksum is the workload's result checksum in obs.FormatUint form —
 	// identical across every schedule and worker count for one instance.
@@ -89,7 +94,7 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	res := &RunResult{
 		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
 		Workers: s.Workers, FlagMode: s.FlagMode, SimWorkers: s.SimWorkers,
-		Geometry: s.Geometry,
+		Geometry: s.Geometry, Layout: s.Layout,
 	}
 
 	// Phase 1: the engine run under the requested executor. Merged Stats
@@ -118,6 +123,7 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 			Stealing: true,
 			Ctx:      ctx,
 			ForTask:  in.ForTask,
+			Layout:   s.Layout,
 			Recorder: rec,
 		})
 		if err != nil {
@@ -133,6 +139,16 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	// Phase 2: simulated miss rates from the traced *sequential* run — one
 	// sink, so the simulated access order (and thus every counter) is a
 	// pure function of the spec, independent of the engine worker count.
+	// The spec's layout applies here: node addresses are generated under
+	// the repacked arena (build-order returns the instance unchanged).
+	lk, err := layout.ParseKind(s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := in.UnderLayout(lk, v)
+	if err != nil {
+		return nil, err
+	}
 	levels, err := memsim.ParseGeometry(s.Geometry)
 	if err != nil {
 		return nil, err
@@ -142,8 +158,8 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	tracedRun := func() error {
 		st := memsim.NewStream(sim, 0)
 		sk := st.Sink()
-		in.Reset()
-		e := nest.MustNew(in.TracedSpec(sk.Emit))
+		lin.Reset()
+		e := nest.MustNew(lin.TracedSpec(sk.Emit))
 		e.Flags = fm
 		err := e.RunContext(ctx, v)
 		st.Close()
@@ -176,6 +192,9 @@ type MissCurveResult struct {
 	Scale     int    `json:"scale"`
 	Seed      int64  `json:"seed"`
 	LineBytes int    `json:"line_bytes"`
+	// Layout is the arena layout the distances were measured under; omitted
+	// for the default build-order arena (see RunResult.Layout).
+	Layout string `json:"layout,omitempty"`
 
 	// Histogram summary over line-granular stack distances.
 	Accesses      int64   `json:"accesses"`
@@ -220,11 +239,20 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 		return nil, err
 	}
 
+	lk, err := layout.ParseKind(s.Layout)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := in.UnderLayout(lk, v)
+	if err != nil {
+		return nil, err
+	}
+
 	ra := memsim.NewReuseAnalyzer()
 	h := memsim.NewHistogram()
 	line := memsim.Addr(s.LineBytes)
-	in.Reset()
-	e := nest.MustNew(in.TracedSpec(func(a memsim.Addr) {
+	lin.Reset()
+	e := nest.MustNew(lin.TracedSpec(func(a memsim.Addr) {
 		h.Add(ra.Access(a / line))
 	}))
 	if err := e.RunContext(ctx, v); err != nil {
@@ -237,7 +265,7 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 
 	res := &MissCurveResult{
 		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
-		LineBytes:     s.LineBytes,
+		LineBytes: s.LineBytes, Layout: s.Layout,
 		Accesses:      h.Total(),
 		DistinctLines: ra.Distinct(),
 		ColdMisses:    h.InfiniteCount(),

@@ -39,6 +39,7 @@ func goldenJobs() []struct {
 		spec any
 	}{
 		{"run", KindRun, RunSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
+		{"run_layout", KindRun, RunSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed, Layout: "veb"}},
 		{"misscurve", KindMissCurve, MissCurveSpec{Workload: "TJ", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
 		{"transform", KindTransform, TransformSpec{Source: diffTemplateSrc}},
 		{"transform_schedule", KindTransform, TransformSpec{Source: diffTemplateSrc,

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"twist/internal/layout"
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
@@ -143,6 +144,13 @@ type RunSpec struct {
 	// Geometry is the simulated hierarchy in memsim.ParseGeometry form.
 	// Default DefaultGeometry.
 	Geometry string `json:"geometry,omitempty"`
+	// Layout names the arena layout (layout.ParseKind) the traced simulation
+	// generates node addresses under: buildorder, hotcold, preorder,
+	// schedule, veb (DESIGN.md §4.12). The default build-order layout
+	// canonicalizes to "", so layout-free requests keep their pre-layout
+	// digests. The layout cannot change the checksum, stats, or verdict of a
+	// job — only the simulated miss rates.
+	Layout string `json:"layout,omitempty"`
 }
 
 // Kind implements Spec.
@@ -174,6 +182,9 @@ func (s *RunSpec) Normalize() error {
 	if s.SimWorkers > MaxSimWorkers {
 		return fmt.Errorf("serve: sim_workers %d exceeds the limit %d", s.SimWorkers, MaxSimWorkers)
 	}
+	if err := normalizeLayout(&s.Layout); err != nil {
+		return err
+	}
 	return normalizeGeometry(&s.Geometry)
 }
 
@@ -199,6 +210,9 @@ type MissCurveSpec struct {
 	// LineBytes is the line size distances are measured in; a power of two.
 	// Default 64.
 	LineBytes int `json:"line_bytes,omitempty"`
+	// Layout names the arena layout node addresses are generated under; see
+	// RunSpec.Layout. Default build-order (canonicalized to "").
+	Layout string `json:"layout,omitempty"`
 }
 
 // Kind implements Spec.
@@ -232,7 +246,7 @@ func (s *MissCurveSpec) Normalize() error {
 	if s.LineBytes < 8 || s.LineBytes > 4096 || s.LineBytes&(s.LineBytes-1) != 0 {
 		return fmt.Errorf("serve: line_bytes %d must be a power of two in 8..4096", s.LineBytes)
 	}
-	return nil
+	return normalizeLayout(&s.Layout)
 }
 
 // TransformSpec parameterizes a transform job: run the §5 source-to-source
@@ -409,6 +423,23 @@ func normalizeScale(scale *int, limit int) error {
 	}
 	if *scale > limit {
 		return fmt.Errorf("serve: scale %d exceeds the limit %d", *scale, limit)
+	}
+	return nil
+}
+
+// normalizeLayout canonicalizes an arena layout name. The default
+// build-order layout elides to "" — a layout-free request and an explicit
+// "buildorder" request are the same job, and requests predating the layout
+// dimension keep their content digests.
+func normalizeLayout(name *string) error {
+	k, err := layout.ParseKind(*name)
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	if k == layout.BuildOrder {
+		*name = ""
+	} else {
+		*name = k.String()
 	}
 	return nil
 }

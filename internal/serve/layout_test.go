@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"twist/internal/layout"
+)
+
+// TestLayoutDigestCanonicalization verifies the layout field's digest
+// discipline: the default build-order layout (however spelled) elides to the
+// empty string — so layout-free requests keep their pre-layout content
+// digests — while each reordering layout canonicalizes to its one name and
+// digests distinctly.
+func TestLayoutDigestCanonicalization(t *testing.T) {
+	t.Parallel()
+	norm := func(s Spec) string {
+		t.Helper()
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return Digest(s)
+	}
+	base := norm(&RunSpec{Workload: "TJ"})
+	for _, spelling := range []string{"buildorder", "BUILD-ORDER", "identity"} {
+		s := &RunSpec{Workload: "TJ", Layout: spelling}
+		if d := norm(s); d != base {
+			t.Errorf("layout %q digests %s, want the layout-free digest %s", spelling, d, base)
+		}
+		if s.Layout != "" {
+			t.Errorf("layout %q canonicalized to %q, want \"\"", spelling, s.Layout)
+		}
+	}
+	seen := map[string]string{"": base}
+	for _, k := range layout.Kinds() {
+		if k == layout.BuildOrder {
+			continue
+		}
+		s := &RunSpec{Workload: "TJ", Layout: strings.ToUpper(k.String())}
+		d := norm(s)
+		if s.Layout != k.String() {
+			t.Errorf("layout %v canonicalized to %q, want %q", k, s.Layout, k.String())
+		}
+		if prev, dup := seen[s.Layout]; dup && prev != d {
+			t.Errorf("layout %v digest not stable", k)
+		}
+		for other, od := range seen {
+			if od == d {
+				t.Errorf("layout %q digests identically to %q", s.Layout, other)
+			}
+		}
+		seen[s.Layout] = d
+	}
+	mc := &MissCurveSpec{Workload: "TJ", Layout: "van-emde-boas"}
+	if err := mc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Layout != "veb" {
+		t.Errorf("misscurve layout canonicalized to %q, want \"veb\"", mc.Layout)
+	}
+	bad := &RunSpec{Workload: "TJ", Layout: "zcurve"}
+	if err := bad.Normalize(); err == nil {
+		t.Error("Normalize accepted unknown layout \"zcurve\"")
+	}
+}
+
+// TestDifferentialRunLayout extends the bit-identical-response contract to
+// layout-bearing run jobs: the served result equals the direct library call
+// byte for byte, echoes the canonical layout name, keeps the checksum and
+// engine stats of the legacy arena (a layout renames storage slots and
+// nothing else), and actually moves the simulated miss counts for the
+// reordering layouts.
+func TestDifferentialRunLayout(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 64})
+	baseSpec := RunSpec{Workload: "TJ", Variant: "twisted", Scale: diffScale, Seed: diffSeed}
+	base, err := RunJob(context.Background(), &baseSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hotcold", "preorder", "schedule", "veb"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := RunSpec{
+				Workload: "TJ", Variant: "twisted",
+				Scale: diffScale, Seed: diffSeed, Layout: name,
+			}
+			direct := spec
+			want, err := RunJob(context.Background(), &direct)
+			if err != nil {
+				t.Fatalf("direct RunJob: %v", err)
+			}
+			if want.Layout != name {
+				t.Errorf("result echoes layout %q, want %q", want.Layout, name)
+			}
+			if want.Checksum != base.Checksum || want.Stats != base.Stats {
+				t.Errorf("layout %s changed the semantic columns: checksum %s/%s", name, want.Checksum, base.Checksum)
+			}
+			// Only the first level's access count is layout-invariant (it
+			// is the trace length); deeper levels see the layer above's
+			// misses, which are exactly what layouts move.
+			var moved bool
+			for li := range want.MissRates {
+				if want.MissRates[li].Misses != base.MissRates[li].Misses {
+					moved = true
+				}
+			}
+			if want.MissRates[0].Accesses != base.MissRates[0].Accesses {
+				t.Errorf("layout %s changed the trace length: %d vs %d",
+					name, want.MissRates[0].Accesses, base.MissRates[0].Accesses)
+			}
+			if !moved {
+				t.Errorf("layout %s left every simulated miss count unchanged", name)
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, body := postJob(t, ts.URL, KindRun, spec)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, body)
+			}
+			env := decodeEnvelope(t, body)
+			if !bytes.Equal(env.Result, wantJSON) {
+				t.Errorf("served result differs from direct library call\nserved: %s\ndirect: %s", env.Result, wantJSON)
+			}
+			if env.Digest != Digest(&direct) {
+				t.Errorf("digest %s, want %s", env.Digest, Digest(&direct))
+			}
+		})
+	}
+}
+
+// TestLayoutCacheCoalescing verifies layout spellings share cache entries
+// exactly when they canonicalize identically: an explicit "buildorder"
+// request is a cache hit on the layout-free twin, while "veb" is its own
+// entry (fresh on first post, hit on repeat).
+func TestLayoutCacheCoalescing(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 64})
+	post := func(spec RunSpec) envelope {
+		t.Helper()
+		status, body := postJob(t, ts.URL, KindRun, spec)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		return decodeEnvelope(t, body)
+	}
+	spec := RunSpec{Workload: "MM", Variant: "twisted", Scale: diffScale, Seed: diffSeed}
+	first := post(spec)
+	if first.Cached {
+		t.Fatal("first layout-free request was already cached")
+	}
+	spec.Layout = "buildorder"
+	if second := post(spec); !second.Cached || second.Digest != first.Digest {
+		t.Errorf("explicit buildorder request missed the layout-free cache entry (cached=%v, digest %s vs %s)",
+			second.Cached, second.Digest, first.Digest)
+	}
+	spec.Layout = "veb"
+	veb := post(spec)
+	if veb.Cached || veb.Digest == first.Digest {
+		t.Errorf("veb request must be its own cache entry (cached=%v)", veb.Cached)
+	}
+	if again := post(spec); !again.Cached {
+		t.Error("repeated veb request was not a cache hit")
+	}
+}
+
+// TestDifferentialMissCurveLayout pins the layout dimension of misscurve
+// jobs: the vEB layout must shorten TJ's mean reuse distance relative to
+// build order under the original schedule (the §4.12 packing effect on the
+// Mattson histogram), with the access count unchanged.
+func TestDifferentialMissCurveLayout(t *testing.T) {
+	t.Parallel()
+	mk := func(layoutName string) *MissCurveResult {
+		t.Helper()
+		spec := MissCurveSpec{Workload: "TJ", Variant: "original", Scale: diffScale, Seed: diffSeed, Layout: layoutName}
+		res, err := MissCurveJob(context.Background(), &spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base, veb := mk(""), mk("veb")
+	if veb.Layout != "veb" || base.Layout != "" {
+		t.Fatalf("layout echo: base %q, veb %q", base.Layout, veb.Layout)
+	}
+	if veb.Accesses != base.Accesses {
+		t.Fatalf("veb layout changed the access count: %d vs %d", veb.Accesses, base.Accesses)
+	}
+	if veb.DistinctLines >= base.DistinctLines {
+		t.Errorf("veb packs two nodes per line, so distinct lines must drop: %d vs %d", veb.DistinctLines, base.DistinctLines)
+	}
+	if veb.MeanDistance >= base.MeanDistance {
+		t.Errorf("veb mean reuse distance %v not below build order %v", veb.MeanDistance, base.MeanDistance)
+	}
+	if fmt.Sprint(veb.Points) == fmt.Sprint(base.Points) {
+		t.Error("veb predicted curve identical to build order")
+	}
+}

@@ -39,6 +39,7 @@ package twist
 
 import (
 	"twist/internal/depcheck"
+	"twist/internal/layout"
 	"twist/internal/loopnest"
 	"twist/internal/nest"
 	"twist/internal/sched"
@@ -211,6 +212,50 @@ type LoopNest = loopnest.Nest
 // NewLoopNest builds the recursive decomposition of an n×m loop nest with
 // the given grain size (indices per recursion leaf; 1 decomposes fully).
 func NewLoopNest(n, m, leafRun int) (*LoopNest, error) { return loopnest.New(n, m, leafRun) }
+
+// LayoutKind names an arena layout pass: a storage-order factorization of a
+// tree's node records that leaves every traversal's visit sequence — and
+// hence the program result — unchanged while changing which cache lines the
+// traversal touches (the complement of the schedule transformations above).
+type LayoutKind = layout.Kind
+
+// The arena layouts: BuildOrderLayout is the identity (nodes stay in arena
+// build order at full stride); HotColdLayout splits each record into a hot
+// traversal half; PreorderLayout stores nodes in preorder; ScheduleLayout
+// stores them in first-touch order under a given schedule; VEBLayout uses
+// cache-oblivious van Emde Boas blocking.
+const (
+	BuildOrderLayout = layout.BuildOrder
+	HotColdLayout    = layout.HotCold
+	PreorderLayout   = layout.Preorder
+	ScheduleLayout   = layout.Schedule
+	VEBLayout        = layout.VEB
+)
+
+// ParseLayout parses a LayoutKind from its String form ("buildorder",
+// "hotcold", "preorder", "schedule", "veb", plus common aliases; "" is
+// BuildOrderLayout).
+func ParseLayout(name string) (LayoutKind, error) { return layout.ParseKind(name) }
+
+// LayoutRemap is an old→new arena slot permutation; nil is the identity.
+type LayoutRemap = layout.Remap
+
+// RealizeLayout computes the slot permutation of a topology-determined
+// layout (every kind except ScheduleLayout, whose order depends on a
+// traversal — see internal/layout.Schemes).
+func RealizeLayout(k LayoutKind, t *Topology) (LayoutRemap, error) {
+	s, err := layout.Realize(k, t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Remap, nil
+}
+
+// ApplyLayout physically repacks a topology under a remap: node old is
+// stored at slot remap[old], with every edge re-indexed, so the returned
+// tree is isomorphic to t and any traversal visits the same logical nodes
+// in the same order.
+func ApplyLayout(t *Topology, r LayoutRemap) (*Topology, error) { return layout.Apply(t, r) }
 
 // Loc is an abstract memory location for dependence analysis.
 type Loc = depcheck.Loc

@@ -154,3 +154,41 @@ func TestFacadeRunParallel(t *testing.T) {
 		t.Fatalf("%d task stats", len(stats))
 	}
 }
+
+// TestFacadeLayout exercises the arena-layout exports: every
+// topology-determined layout yields a valid permutation, the repacked tree
+// runs every schedule to the same visit count, and the parse/String forms
+// round-trip.
+func TestFacadeLayout(t *testing.T) {
+	outer := twist.NewRandomBST(100, 7)
+	for _, k := range []twist.LayoutKind{
+		twist.BuildOrderLayout, twist.HotColdLayout,
+		twist.PreorderLayout, twist.VEBLayout,
+	} {
+		parsed, err := twist.ParseLayout(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("ParseLayout(%q) = %v, %v", k.String(), parsed, err)
+		}
+		r, err := twist.RealizeLayout(k, outer)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		packed, err := twist.ApplyLayout(outer, r)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		var visits int
+		s := twist.Spec{
+			Outer: packed,
+			Inner: twist.NewBalancedTree(64),
+			Work:  func(o, i twist.NodeID) { visits++ },
+		}
+		twist.MustNew(s).Run(twist.Twisted())
+		if visits != 100*64 {
+			t.Fatalf("%v: repacked run visited %d pairs, want %d", k, visits, 100*64)
+		}
+	}
+	if _, err := twist.RealizeLayout(twist.ScheduleLayout, outer); err == nil {
+		t.Fatal("RealizeLayout accepted the traversal-dependent schedule layout")
+	}
+}
