@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"twist"
 	"twist/internal/dualtree"
 	"twist/internal/geom"
 	"twist/internal/kdtree"
@@ -40,10 +41,13 @@ func main() {
 	} {
 		pc.Reset()
 		t0 := time.Now()
-		e.Run(v)
+		res, err := twist.Run(e, twist.WithVariant(v))
+		if err != nil {
+			panic(err)
+		}
 		dt := time.Since(t0)
 		fmt.Printf("%-16v %-14d %-14d %-12d %-10d %v\n",
-			v, pc.Count, e.Stats.Iterations, pc.PairOps, e.Stats.Twists, dt.Round(time.Millisecond))
+			v, pc.Count, res.Stats.Iterations, pc.PairOps, res.Stats.Twists, dt.Round(time.Millisecond))
 		if want < 0 {
 			want = pc.Count
 		} else if pc.Count != want {

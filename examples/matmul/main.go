@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"twist"
 	"twist/internal/nest"
 	"twist/internal/workloads"
 )
@@ -32,10 +33,13 @@ func main() {
 	for k, v := range []nest.Variant{nest.Original(), nest.Twisted(), nest.TwistedCutoff(64)} {
 		in.Reset()
 		t0 := time.Now()
-		e.Run(v)
+		res, err := twist.Run(e, twist.WithVariant(v))
+		if err != nil {
+			panic(err)
+		}
 		dt := time.Since(t0)
 		sum := in.Checksum()
-		fmt.Printf("%-16v %-18x %-10d %v\n", v, sum, e.Stats.Twists, dt.Round(time.Millisecond))
+		fmt.Printf("%-16v %-18x %-10d %v\n", v, sum, res.Stats.Twists, dt.Round(time.Millisecond))
 		if k == 0 {
 			want = sum
 		} else if sum != want {

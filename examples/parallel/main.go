@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twist"
 	"twist/internal/geom"
 	"twist/internal/kdtree"
 	"twist/internal/nest"
@@ -70,7 +71,9 @@ func main() {
 	count.Store(0)
 	t0 := time.Now()
 	e := nest.MustNew(spec)
-	e.Run(nest.Twisted())
+	if _, err := twist.Run(e, twist.WithVariant(nest.Twisted())); err != nil {
+		panic(err)
+	}
 	seq := time.Since(t0)
 	want := count.Load()
 	fmt.Printf("sequential twisted:        %8v  count=%d\n", seq.Round(time.Millisecond), want)
@@ -78,14 +81,14 @@ func main() {
 	// One worker first: the decomposition depends only on the spawn depth,
 	// so this run's merged Stats are the determinism baseline.
 	count.Store(0)
-	base, err := e.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: 1, Stealing: true})
+	base, err := twist.Run(e, twist.WithVariant(nest.Twisted()), twist.WithWorkers(1))
 	if err != nil {
 		panic(err)
 	}
 
 	count.Store(0)
 	t0 = time.Now()
-	res, err := e.RunWith(nest.RunConfig{Variant: nest.Twisted(), Workers: w, Stealing: true})
+	res, err := twist.Run(e, twist.WithVariant(nest.Twisted()), twist.WithWorkers(w))
 	if err != nil {
 		panic(err)
 	}

@@ -34,8 +34,11 @@ func main() {
 
 	for _, v := range []twist.Variant{twist.Original(), twist.Interchanged(), twist.Twisted()} {
 		sum = 0
-		exec.Run(v)
-		fmt.Printf("%-13s sum=%-8d twists=%-3d\n", v, sum, exec.Stats.Twists)
+		res, err := twist.Run(exec, twist.WithVariant(v))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-13s sum=%-8d twists=%-3d\n", v, sum, res.Stats.Twists)
 
 		pairs, err := twist.Record(spec, v)
 		if err != nil {
@@ -55,8 +58,10 @@ func main() {
 		Inner: twist.NewBalancedTree(1 << 10),
 		Work:  func(o, i twist.NodeID) {},
 	}
-	e := twist.MustNew(big)
-	e.Run(twist.Twisted())
+	res, err := twist.Run(twist.MustNew(big), twist.WithVariant(twist.Twisted()))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("1024x1024 twisted: %d iterations, %d orientation switches\n",
-		e.Stats.Work, e.Stats.Twists)
+		res.Stats.Work, res.Stats.Twists)
 }

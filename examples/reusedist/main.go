@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"twist"
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/workloads"
@@ -61,8 +62,9 @@ func node5Distances(v nest.Variant) []string {
 			out = append(out, fmt.Sprint(d))
 		}
 	})
-	e := nest.MustNew(s)
-	e.Run(v)
+	if _, err := twist.Run(nest.MustNew(s), twist.WithVariant(v)); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -72,7 +74,8 @@ func histogram(n int, v nest.Variant) *memsim.Histogram {
 	h := memsim.NewHistogram()
 	in.Reset()
 	s := in.TracedSpec(func(a memsim.Addr) { h.Add(ra.Access(a)) })
-	e := nest.MustNew(s)
-	e.Run(v)
+	if _, err := twist.Run(nest.MustNew(s), twist.WithVariant(v)); err != nil {
+		panic(err)
+	}
 	return h
 }

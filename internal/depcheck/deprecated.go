@@ -77,6 +77,159 @@ func ScanDeprecated(root string) ([]DeprecatedUse, error) {
 	return uses, err
 }
 
+// execRunMethods are the legacy Exec run methods the unified facade
+// entrypoint (twist.Run) replaces.
+var execRunMethods = map[string]bool{
+	"Run":        true,
+	"RunContext": true,
+	"RunFrom":    true,
+	"RunWith":    true,
+}
+
+// ScanExecRuns parses every non-test .go file under root (skipping testdata
+// directories) and returns each direct call of a legacy Exec run method —
+// Run, RunContext, RunFrom, RunWith — on a value built by nest.New or
+// nest.MustNew (through the internal package or the twist facade, under any
+// import alias). Resolution is syntactic: an identifier counts as an Exec
+// once a file-scope walk sees it assigned from New/MustNew, and chained
+// calls like nest.MustNew(s).Run(v) are caught directly. Test files are
+// exempt (they pin the legacy wrappers' behavior); callers apply their own
+// allowlist for the facade implementation and the engine-infrastructure
+// packages.
+func ScanExecRuns(root string) ([]DeprecatedUse, error) {
+	var uses []DeprecatedUse
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("depcheck: %v", err)
+		}
+		uses = append(uses, scanExecRunsFile(fset, file)...)
+		return nil
+	})
+	return uses, err
+}
+
+// scanExecRunsFile reports the direct Exec run-method calls in one parsed
+// file.
+func scanExecRunsFile(fset *token.FileSet, file *ast.File) []DeprecatedUse {
+	// Local names of the packages whose New/MustNew build an Exec.
+	ctors := map[string]bool{}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || (path != "twist" && path != "twist/internal/nest") {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		ctors[name] = true
+	}
+	if len(ctors) == 0 {
+		return nil
+	}
+	isCtorCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		return ok && ctors[pkg.Name] && (sel.Sel.Name == "New" || sel.Sel.Name == "MustNew")
+	}
+
+	// Pass 1: collect the identifiers the file binds to an Exec, via
+	// assignment or var declaration. A single constructor call on the right
+	// binds the first name on the left (nest.New's two-value form binds the
+	// Exec first).
+	execs := map[string]bool{}
+	bind := func(lhs []ast.Expr, names []*ast.Ident, rhs []ast.Expr) {
+		if len(rhs) == 1 && isCtorCall(rhs[0]) {
+			if len(lhs) > 0 {
+				if id, ok := lhs[0].(*ast.Ident); ok {
+					execs[id.Name] = true
+				}
+			}
+			if len(names) > 0 {
+				execs[names[0].Name] = true
+			}
+			return
+		}
+		for k, r := range rhs {
+			if !isCtorCall(r) {
+				continue
+			}
+			if k < len(lhs) {
+				if id, ok := lhs[k].(*ast.Ident); ok {
+					execs[id.Name] = true
+				}
+			}
+			if k < len(names) {
+				execs[names[k].Name] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			bind(st.Lhs, nil, st.Rhs)
+		case *ast.ValueSpec:
+			bind(nil, st.Names, st.Values)
+		}
+		return true
+	})
+
+	// Pass 2: flag run-method calls on those identifiers or directly on a
+	// constructor call.
+	var uses []DeprecatedUse
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !execRunMethods[sel.Sel.Name] {
+			return true
+		}
+		recv := ""
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			if !execs[x.Name] {
+				return true
+			}
+			recv = x.Name
+		default:
+			if !isCtorCall(sel.X) {
+				return true
+			}
+			recv = "Exec"
+		}
+		uses = append(uses, DeprecatedUse{
+			Pos:         fset.Position(sel.Pos()),
+			Symbol:      recv + "." + sel.Sel.Name,
+			Replacement: "the unified facade entrypoint twist.Run",
+		})
+		return true
+	})
+	return uses
+}
+
 // scanFile reports the deprecated qualified references in one parsed file.
 func scanFile(fset *token.FileSet, file *ast.File) []DeprecatedUse {
 	// Local name → banned-symbol table for the deprecated imports only.

@@ -17,7 +17,6 @@ import (
 var deprecatedAllowlist = []string{
 	"twist.go",
 	"twist_test.go",
-	"internal/transform/algebra/",
 }
 
 // TestNoNewDeprecatedUses walks the whole module and fails on any qualified
@@ -54,6 +53,106 @@ func TestNoNewDeprecatedUses(t *testing.T) {
 	}
 	if len(bad) > 0 {
 		t.Error("route new code through the schedule algebra / RunWith / memsim.New; the allowlist is only for the compatibility surface")
+	}
+}
+
+// execRunAllowlist holds the module-relative path prefixes that may call
+// the legacy Exec run methods directly: the facade implementation and the
+// engine-infrastructure packages that *are* the replacements' plumbing
+// (harness entry points, oracle runners, layout recording, measurement
+// loops). Everything else — examples included — goes through twist.Run.
+var execRunAllowlist = []string{
+	"run.go",                // the facade implementation itself
+	"internal/sched/",       // schedule recording drives the engine directly
+	"internal/workloads/",   // Instance.Run* are the harness entry points
+	"internal/layout/",      // first-touch layout recording
+	"internal/oracle/",      // differential runners
+	"internal/loopnest/",    // the §7.2 loop front-end
+	"internal/depcheck/",    // the dynamic dependence analysis
+	"internal/experiments/", // measurement harnesses
+}
+
+// TestNoNewDirectExecRuns is the run-surface half of the API redesign: new
+// code outside the facade and the engine infrastructure must call twist.Run,
+// not the legacy Exec methods.
+func TestNoNewDirectExecRuns(t *testing.T) {
+	t.Parallel()
+	root := moduleRoot(t)
+	uses, err := ScanExecRuns(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad []string
+	for _, u := range uses {
+		rel, err := filepath.Rel(root, u.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		allowed := false
+		for _, prefix := range execRunAllowlist {
+			if rel == prefix || strings.HasPrefix(rel, prefix) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			bad = append(bad, u.String())
+		}
+	}
+	for _, line := range bad {
+		t.Error(line)
+	}
+	if len(bad) > 0 {
+		t.Error("call twist.Run instead of the Exec run methods; the allowlist is only for the facade and the engine infrastructure")
+	}
+}
+
+// TestScanExecRunsFindsUses checks the run-method scanner on a synthetic
+// file: ctor-bound identifiers (both assignment forms and var declarations),
+// chained constructor calls, and renamed imports are caught; unrelated
+// receivers with the same method names are not.
+func TestScanExecRunsFindsUses(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	src := `package scratch
+
+import (
+	nn "twist/internal/nest"
+)
+
+var global = nn.MustNew(nn.Spec{})
+
+func f(other interface{ Run(v int) }) {
+	e := nn.MustNew(nn.Spec{})
+	e.Run(nn.Twisted())
+	e2, err := nn.New(nn.Spec{})
+	_ = err
+	e2.RunWith(nn.RunConfig{})
+	nn.MustNew(nn.Spec{}).RunFrom(nn.Twisted(), 0, 0)
+	global.RunContext(nil, nn.Twisted())
+	other.Run(1)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	uses, err := ScanExecRuns(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, u := range uses {
+		got = append(got, u.Symbol)
+	}
+	want := []string{"e.Run", "e2.RunWith", "Exec.RunFrom", "global.RunContext"}
+	if len(got) != len(want) {
+		t.Fatalf("found %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("found %v, want %v", got, want)
+		}
 	}
 }
 

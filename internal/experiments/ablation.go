@@ -33,17 +33,18 @@ func AblationFlags(n int, radius float64, seed int64, repeats int) []FlagAblatio
 	in := workloads.PointCorr(n, radius, seed)
 	var rows []FlagAblationRow
 	for _, fm := range []nest.FlagMode{nest.FlagSets, nest.FlagCounter} {
-		e := nest.MustNew(in.Spec)
-		e.Flags = fm
+		var st nest.Stats
 		d := timeBest(repeats, func() {
-			in.Reset()
-			e.Run(nest.Twisted())
+			var err error
+			if st, _, err = in.RunSeq(nil, nest.Twisted(), func(e *nest.Exec) { e.Flags = fm }); err != nil {
+				panic(err) // unreachable: a nil ctx never cancels
+			}
 		})
 		rows = append(rows, FlagAblationRow{
 			Mode:       fm,
-			FlagSets:   e.Stats.FlagSets,
-			FlagClears: e.Stats.FlagClears,
-			Ops:        e.Stats.Ops(),
+			FlagSets:   st.FlagSets,
+			FlagClears: st.FlagClears,
+			Ops:        st.Ops(),
 			Wall:       d,
 		})
 	}
@@ -65,16 +66,17 @@ func AblationSubtree(n int, radius float64, seed int64, repeats int) []SubtreeAb
 	in := workloads.PointCorr(n, radius, seed)
 	var rows []SubtreeAblationRow
 	for _, on := range []bool{false, true} {
-		e := nest.MustNew(in.Spec)
-		e.SubtreeTruncation = on
+		var st nest.Stats
 		d := timeBest(repeats, func() {
-			in.Reset()
-			e.Run(nest.Twisted())
+			var err error
+			if st, _, err = in.RunSeq(nil, nest.Twisted(), func(e *nest.Exec) { e.SubtreeTruncation = on }); err != nil {
+				panic(err) // unreachable: a nil ctx never cancels
+			}
 		})
 		rows = append(rows, SubtreeAblationRow{
 			Enabled:     on,
-			Iterations:  e.Stats.Iterations,
-			SubtreeCuts: e.Stats.SubtreeCuts,
+			Iterations:  st.Iterations,
+			SubtreeCuts: st.SubtreeCuts,
 			Wall:        d,
 		})
 	}

@@ -118,16 +118,28 @@ func timeBest(repeats int, f func()) time.Duration {
 	return best
 }
 
-// runWall times variant v of instance in and returns (duration, checksum).
+// runWall times variant v of instance in on the default recursive engine and
+// returns (duration, checksum).
 func runWall(in *workloads.Instance, v nest.Variant, repeats int) (time.Duration, uint64) {
-	e := nest.MustNew(in.Spec)
+	d, sum, _ := runWallOn(in, v, nest.EngineRecursive, repeats)
+	return d, sum
+}
+
+// runWallOn times variant v of instance in on the given visit engine and
+// returns (duration, checksum, engine ops). The engine-ops counter is
+// deterministic; the duration is the noisy signal.
+func runWallOn(in *workloads.Instance, v nest.Variant, eng nest.Engine, repeats int) (time.Duration, uint64, int64) {
 	var sum uint64
+	var ops int64
 	d := timeBest(repeats, func() {
-		in.Reset()
-		e.Run(v)
+		_, engOps, err := in.RunSeq(nil, v, func(e *nest.Exec) { e.Engine = eng })
+		if err != nil {
+			panic(err) // unreachable: a nil ctx never cancels
+		}
+		ops = engOps
 		sum = in.Checksum()
 	})
-	return d, sum
+	return d, sum, ops
 }
 
 // missRates runs a traced execution of variant v through a fresh simulated
@@ -171,14 +183,12 @@ func missRatesWith(in *workloads.Instance, v nest.Variant, workers, simWorkers i
 	run := func() error {
 		st := memsim.NewStream(sim, 0)
 		last = st
-		in.Reset()
 		if workers <= 1 {
-			sk := st.Sink()
-			e := nest.MustNew(in.TracedSpec(sk.Emit))
-			e.Run(v)
+			_, _, err := in.RunSink(nil, v, st.Sink(), nil)
 			st.Close()
-			return nil
+			return err
 		}
+		in.Reset()
 		sinks := make([]*memsim.Sink, workers)
 		for w := range sinks {
 			sinks[w] = st.Sink()
@@ -236,10 +246,9 @@ func Fig5(n int, seed int64) []Fig5Row {
 		in := workloads.TreeJoin(n, seed)
 		ra := memsim.NewReuseAnalyzer()
 		hist := memsim.NewHistogram()
-		in.Reset()
-		s := in.TracedSpec(func(a memsim.Addr) { hist.Add(ra.Access(a)) })
-		e := nest.MustNew(s)
-		e.Run(v)
+		if _, _, err := in.RunEmit(nil, v, func(a memsim.Addr) { hist.Add(ra.Access(a)) }, nil); err != nil {
+			panic(err) // unreachable: a nil ctx never cancels
+		}
 		return hist
 	}
 	orig := collect(nest.Original())
@@ -352,10 +361,10 @@ func simPhase(in *workloads.Instance, simWorkers int, row *Fig7Row) error {
 	runSim := func(sim memsim.Simulator) (time.Duration, []memsim.LevelStats) {
 		st := memsim.NewStream(sim, 0)
 		sk := st.Sink()
-		in.Reset()
-		e := nest.MustNew(in.TracedSpec(sk.Emit))
 		t0 := time.Now()
-		e.Run(nest.Twisted())
+		if _, _, err := in.RunSink(nil, nest.Twisted(), sk, nil); err != nil {
+			panic(err) // unreachable: a nil ctx never cancels
+		}
 		st.Close()
 		stats := sim.Stats()
 		return time.Since(t0), stats
@@ -611,11 +620,11 @@ func TblIters(n int, radius float64, seed int64) []ItersRow {
 	defer obs.Span(rec, "experiments.iters")()
 	in := workloads.PointCorr(n, radius, seed)
 	run := func(v nest.Variant, subtree bool) nest.Stats {
-		in.Reset()
-		e := nest.MustNew(in.Spec)
-		e.SubtreeTruncation = subtree
-		e.Run(v)
-		return e.Stats
+		st, _, err := in.RunSeq(nil, v, func(e *nest.Exec) { e.SubtreeTruncation = subtree })
+		if err != nil {
+			panic(err) // unreachable: a nil ctx never cancels
+		}
+		return st
 	}
 	orig := run(nest.Original(), true)
 	rows := []ItersRow{{Schedule: "original", Iterations: orig.Iterations, Work: orig.Work}}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"twist/internal/nest"
+	"twist/internal/obs"
+	"twist/internal/workloads"
+)
+
+// The engine wall-clock study (DESIGN.md §4.13): the iterative explicit-stack
+// lowering exists to close the gap between the paper's hand-lowered C++
+// kernels and this repository's recursive Go engine. Its acceptance signal is
+// deterministic — the engine-overhead counter nest.Exec.EngineOps (activation
+// records for the recursive engine, drain-loop steps for the iterative one)
+// must drop by >= 30% on twisted schedules — while the wall clocks ride along
+// as the noisy corroborating evidence, like every other wall column in this
+// package.
+
+// WallclockRow is one benchmark of the engine comparison, run under the
+// twisted schedule on both visit engines.
+type WallclockRow struct {
+	Bench string
+
+	// RecursiveOps/IterativeOps are the deterministic engine-overhead
+	// counters; ReductionPct is their relative drop in percent (the gated
+	// signal: >= 30 on every suite benchmark).
+	RecursiveOps int64
+	IterativeOps int64
+	ReductionPct float64
+
+	// RecursiveWall/IterativeWall are best-of-repeats wall clocks;
+	// WallSpeedup is recursive/iterative. Noisy — host- and
+	// runtime-dependent, never gated strictly.
+	RecursiveWall time.Duration
+	IterativeWall time.Duration
+	WallSpeedup   float64
+
+	// Checksum is the benchmark result checksum, identical across engines by
+	// the bit-identity contract (verified before the row is returned, along
+	// with full Stats equality).
+	Checksum uint64
+}
+
+// Wallclock runs the six suite benchmarks under the twisted schedule on the
+// recursive and the iterative visit engine, erring unless the two engines
+// produce identical checksums and bit-identical Stats, and reports the
+// engine-ops reduction plus both wall clocks.
+func Wallclock(scale int, seed int64, repeats int) ([]WallclockRow, error) {
+	defer obs.Span(rec, "experiments.wallclock")()
+	var rows []WallclockRow
+	for _, in := range workloads.Suite(scale, seed) {
+		recStats, recOps, err := in.RunSeq(nil, nest.Twisted(), nil)
+		if err != nil {
+			return nil, err
+		}
+		recSum := in.Checksum()
+		iterStats, iterOps, err := in.RunSeq(nil, nest.Twisted(),
+			func(e *nest.Exec) { e.Engine = nest.EngineIterative })
+		if err != nil {
+			return nil, err
+		}
+		iterSum := in.Checksum()
+		if iterSum != recSum {
+			return nil, fmt.Errorf("wallclock: %s checksum diverges between engines: recursive %x, iterative %x",
+				in.Name, recSum, iterSum)
+		}
+		if iterStats != recStats {
+			return nil, fmt.Errorf("wallclock: %s stats diverge between engines:\n iter %v\n rec  %v",
+				in.Name, iterStats, recStats)
+		}
+		dRec, _, _ := runWallOn(in, nest.Twisted(), nest.EngineRecursive, repeats)
+		dIter, _, _ := runWallOn(in, nest.Twisted(), nest.EngineIterative, repeats)
+		rec.Count("wallclock."+in.Name+".recursive_ops", recOps)
+		rec.Count("wallclock."+in.Name+".iterative_ops", iterOps)
+		rec.Time("wallclock."+in.Name+".recursive", dRec)
+		rec.Time("wallclock."+in.Name+".iterative", dIter)
+		rows = append(rows, WallclockRow{
+			Bench:         in.Name,
+			RecursiveOps:  recOps,
+			IterativeOps:  iterOps,
+			ReductionPct:  100 * (1 - float64(iterOps)/float64(recOps)),
+			RecursiveWall: dRec,
+			IterativeWall: dIter,
+			WallSpeedup:   float64(dRec) / float64(dIter),
+			Checksum:      recSum,
+		})
+	}
+	return rows, nil
+}

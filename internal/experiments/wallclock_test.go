@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// The tentpole acceptance bound at the experiment level: every suite
+// benchmark's engine-ops counter drops by >= 30% under the twisted schedule,
+// and the rows carry the deterministic columns the bench gate pins.
+func TestWallclockReduction(t *testing.T) {
+	rows, err := Wallclock(1024, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReductionPct < 30 {
+			t.Errorf("%s: engine ops reduction %.1f%% (rec %d, iter %d), want >= 30%%",
+				r.Bench, r.ReductionPct, r.RecursiveOps, r.IterativeOps)
+		}
+		if r.IterativeOps <= 0 || r.IterativeOps >= r.RecursiveOps {
+			t.Errorf("%s: iterative ops %d not within (0, %d)", r.Bench, r.IterativeOps, r.RecursiveOps)
+		}
+		if r.Checksum == 0 {
+			t.Errorf("%s: zero checksum", r.Bench)
+		}
+		if r.RecursiveWall <= 0 || r.IterativeWall <= 0 {
+			t.Errorf("%s: non-positive wall clocks %v/%v", r.Bench, r.RecursiveWall, r.IterativeWall)
+		}
+	}
+}
+
+// Deterministic columns must be reproducible run to run — the property the
+// committed BENCH_wallclock.json baseline leans on.
+func TestWallclockDeterministic(t *testing.T) {
+	a, err := Wallclock(512, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Wallclock(512, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k].RecursiveOps != b[k].RecursiveOps || a[k].IterativeOps != b[k].IterativeOps ||
+			a[k].Checksum != b[k].Checksum {
+			t.Errorf("%s: deterministic columns drift between runs:\n a %+v\n b %+v", a[k].Bench, a[k], b[k])
+		}
+	}
+}

@@ -146,6 +146,24 @@ func (sk *Sink) Emit(a Addr) {
 	}
 }
 
+// EmitBatch appends a whole run of addresses in order, flushing exactly as
+// the buffer fills. It is equivalent to calling Emit for each element —
+// identical batch boundaries, so simulated stats are bit-identical — but
+// costs one copy and one flush test per run instead of per address. The
+// traced-run harnesses use it to emit each visit's accesses as one batch
+// (workloads.Instance.RunSink).
+func (sk *Sink) EmitBatch(as []Addr) {
+	for len(as) > 0 {
+		n := copy(sk.buf[sk.n:], as)
+		sk.n += n
+		as = as[n:]
+		if sk.n == len(sk.buf) {
+			sk.st.consume(sk.buf)
+			sk.n = 0
+		}
+	}
+}
+
 // Flush pushes any partial batch into the simulator. Flushing a closed
 // Stream discards the batch and counts it as dropped.
 func (sk *Sink) Flush() {

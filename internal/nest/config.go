@@ -29,6 +29,13 @@ type RunConfig struct {
 	// Twisted; the paper's §7.3 "parallelize above, twist below").
 	Variant Variant
 
+	// Engine selects the visit-engine implementation every worker uses
+	// (recursive or iterative; see Engine). The two engines produce
+	// bit-identical merged Stats — the axis only moves the engine-overhead
+	// counter reported in RunResult.EngineOps and the "nest.engine.ops"
+	// telemetry. Default EngineRecursive.
+	Engine Engine
+
 	// Workers is the number of worker goroutines; <= 0 means GOMAXPROCS.
 	Workers int
 
@@ -112,6 +119,13 @@ type RunResult struct {
 	// Steals counts tasks that moved between workers (always 0 for the
 	// static executor and for single-worker runs).
 	Steals int64
+
+	// EngineOps is the summed engine-overhead counter of every worker (see
+	// Exec.EngineOps): recursion entries for the recursive engine, frame
+	// executions for the iterative one. Like Stats it is deterministic for
+	// a fixed Spec, schedule, and SpawnDepth — identical across worker
+	// counts and executors — which is what makes it gateable in CI.
+	EngineOps int64
 }
 
 // RunWith executes the computation under cfg, replacing the positional
@@ -127,6 +141,11 @@ type RunResult struct {
 // concurrent goroutines for distinct outer nodes; iterations of one column
 // never run concurrently. Use cfg.ForTask to shard mutable workload state
 // per task.
+//
+// Deprecated: new call sites should go through twist.Run with WithWorkers
+// (which builds the RunConfig and calls this method). RunWith remains as
+// the facade's parallel building block and for the engine-infrastructure
+// packages; depcheck.ScanExecRuns enforces the boundary.
 func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -139,6 +158,7 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 	if depth > math.MaxInt32 {
 		return RunResult{}, fmt.Errorf("nest: spawn depth %d out of range", depth)
 	}
+	e.Engine = cfg.Engine
 	done := obs.Span(cfg.Recorder, "nest.run")
 	var res RunResult
 	var err error
@@ -153,6 +173,8 @@ func (e *Exec) RunWith(cfg RunConfig) (RunResult, error) {
 		cfg.Recorder.Count("nest.tasks", res.Tasks)
 		cfg.Recorder.Count("nest.steals", res.Steals)
 		cfg.Recorder.Count("nest.workers", int64(res.Workers))
+		cfg.Recorder.Count("nest.engine.ops", res.EngineOps)
+		cfg.Recorder.Count("nest.engine."+cfg.Engine.String(), 1)
 		if cfg.SimWorkers > 0 {
 			cfg.Recorder.Count("nest.simworkers", int64(cfg.SimWorkers))
 		}
@@ -170,6 +192,7 @@ func (e *Exec) child(ctx context.Context) *Exec {
 		spec:              e.spec,
 		Flags:             e.Flags,
 		SubtreeTruncation: e.SubtreeTruncation,
+		Engine:            e.Engine,
 		irregular:         e.irregular,
 		ctx:               ctx,
 	}
@@ -218,7 +241,7 @@ func (e *Exec) runStatic(cfg RunConfig, workers, depth int) (RunResult, error) {
 			return
 		}
 		w0.spec = taskSpec(&cfg, 0, o, base)
-		w0.inner(o, iRoot)
+		w0.column(o, iRoot)
 		walk(base.Outer.Left(o), d+1)
 		walk(base.Outer.Right(o), d+1)
 	}
@@ -228,6 +251,7 @@ func (e *Exec) runStatic(cfg RunConfig, workers, depth int) (RunResult, error) {
 	}
 
 	perWorker := make([]Stats, workers)
+	engineOps := make([]int64, workers)
 	ch := make(chan tree.NodeID)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -249,6 +273,7 @@ func (e *Exec) runStatic(cfg RunConfig, workers, depth int) (RunResult, error) {
 				}
 			}
 			perWorker[w] = ew.Stats
+			engineOps[w] = ew.EngineOps()
 		}(w)
 	}
 	if !aborted.Load() {
@@ -260,10 +285,12 @@ func (e *Exec) runStatic(cfg RunConfig, workers, depth int) (RunResult, error) {
 	wg.Wait()
 
 	var merged Stats
-	for _, st := range perWorker {
+	var ops int64
+	for w, st := range perWorker {
 		merged.Add(st)
+		ops += engineOps[w]
 	}
-	res := RunResult{Stats: merged, PerWorker: perWorker, Workers: workers, Tasks: tasks}
+	res := RunResult{Stats: merged, PerWorker: perWorker, Workers: workers, Tasks: tasks, EngineOps: ops}
 	if aborted.Load() {
 		return res, cfg.Ctx.Err()
 	}

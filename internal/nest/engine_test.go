@@ -1,0 +1,195 @@
+package nest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"twist/internal/tree"
+)
+
+// runExact executes variant v of s under the given engine and returns the
+// exact work order plus the final Stats.
+func runExact(t *testing.T, s Spec, v Variant, eng Engine, tweak func(*Exec)) ([]pair, Stats, int64) {
+	t.Helper()
+	var got []pair
+	s.Work = func(o, i tree.NodeID) { got = append(got, pair{o, i}) }
+	e := MustNew(s)
+	e.Engine = eng
+	if tweak != nil {
+		tweak(e)
+	}
+	e.Run(v)
+	return got, e.Stats, e.EngineOps()
+}
+
+// The engine contract (DESIGN.md §4.13): the iterative lowering executes the
+// *identical* schedule — same work order (not just multiset) and bit-identical
+// Stats — across regular and irregular spaces, all variants, both flag
+// modes, with and without the §4.2 optimization.
+func TestEnginesBitIdentical(t *testing.T) {
+	t.Parallel()
+	shapes := []struct {
+		name         string
+		outer, inner *tree.Topology
+	}{
+		{"perfect", tree.NewPerfect(4), tree.NewPerfect(4)},
+		{"balanced-uneven", tree.NewBalanced(37), tree.NewBalanced(61)},
+		{"random", tree.NewRandomBST(45, 3), tree.NewRandomBST(33, 4)},
+		{"chain-vs-tree", tree.NewChain(17), tree.NewBalanced(31)},
+	}
+	specs := func(outer, inner *tree.Topology) map[string]Spec {
+		return map[string]Spec{
+			"regular":          regularSpec(outer, inner),
+			"irregular":        irregularSpec(outer, inner, 21, false, 0.6),
+			"irregular-dense":  irregularSpec(outer, inner, 22, false, 0.95),
+			"hereditary":       irregularSpec(outer, inner, 23, true, 0.6),
+			"hereditary-dense": irregularSpec(outer, inner, 24, true, 0.95),
+		}
+	}
+	variants := []Variant{Original(), Interchanged(), Twisted(), TwistedCutoff(3)}
+	for _, sh := range shapes {
+		for sname, s := range specs(sh.outer, sh.inner) {
+			for _, v := range variants {
+				for _, fm := range []FlagMode{FlagSets, FlagCounter} {
+					for _, st := range []bool{false, true} {
+						tweak := func(e *Exec) {
+							e.Flags = fm
+							e.SubtreeTruncation = st
+						}
+						wantPairs, wantStats, recOps := runExact(t, s, v, EngineRecursive, tweak)
+						gotPairs, gotStats, iterOps := runExact(t, s, v, EngineIterative, tweak)
+						if !reflect.DeepEqual(gotPairs, wantPairs) {
+							t.Fatalf("%s/%s/%v/%v/subtree=%v: iterative work order diverges from recursive",
+								sh.name, sname, v, fm, st)
+						}
+						if gotStats != wantStats {
+							t.Fatalf("%s/%s/%v/%v/subtree=%v: stats diverge\n iter %v\n rec  %v",
+								sh.name, sname, v, fm, st, gotStats, wantStats)
+						}
+						if iterOps > recOps {
+							t.Fatalf("%s/%s/%v/%v/subtree=%v: iterative engine ops %d exceed recursive %d",
+								sh.name, sname, v, fm, st, iterOps, recOps)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The tentpole acceptance bound, at the unit level: on twisted schedules the
+// engine-overhead counter must drop by at least 30% (truncated entries never
+// become frames; the FlagCounter unwind phase is elided).
+func TestIterativeEngineOpsReduction(t *testing.T) {
+	t.Parallel()
+	outer, inner := tree.NewBalanced(511), tree.NewBalanced(511)
+	for sname, s := range map[string]Spec{
+		"regular":   regularSpec(outer, inner),
+		"irregular": irregularSpec(outer, inner, 7, false, 0.3),
+	} {
+		for _, v := range []Variant{Twisted(), TwistedCutoff(15)} {
+			_, recStats, recOps := runExact(t, s, v, EngineRecursive, nil)
+			_, _, iterOps := runExact(t, s, v, EngineIterative, nil)
+			if recStats.Work < 10_000 {
+				t.Fatalf("%s/%v: degenerate spec (only %d visits), pick another seed", sname, v, recStats.Work)
+			}
+			red := 1 - float64(iterOps)/float64(recOps)
+			if red < 0.30 {
+				t.Errorf("%s/%v: engine ops reduction %.1f%% (rec %d, iter %d), want >= 30%%",
+					sname, v, red*100, recOps, iterOps)
+			}
+		}
+	}
+}
+
+// RunWith contract extension: the Engine axis changes neither the merged
+// Stats nor the task decomposition, EngineOps is deterministic across worker
+// counts and executors, and the recursive EngineOps equals OuterCalls +
+// InnerCalls by construction.
+func TestParallelEnginesIdentical(t *testing.T) {
+	t.Parallel()
+	outer, inner := tree.NewRandomBST(300, 5), tree.NewRandomBST(280, 6)
+	s := irregularSpec(outer, inner, 31, true, 0.6)
+	s.Work = func(o, i tree.NodeID) {}
+
+	base, err := MustNew(s).RunWith(RunConfig{Variant: Twisted(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EngineOps != base.Stats.OuterCalls+base.Stats.InnerCalls {
+		t.Fatalf("recursive EngineOps %d != OuterCalls+InnerCalls %d",
+			base.EngineOps, base.Stats.OuterCalls+base.Stats.InnerCalls)
+	}
+	var iterOps int64
+	for _, workers := range []int{1, 3, 8} {
+		for _, stealing := range []bool{false, true} {
+			res, err := MustNew(s).RunWith(RunConfig{
+				Variant:  Twisted(),
+				Engine:   EngineIterative,
+				Workers:  workers,
+				Stealing: stealing,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats != base.Stats {
+				t.Fatalf("workers=%d stealing=%v: iterative merged stats diverge\n iter %v\n rec  %v",
+					workers, stealing, res.Stats, base.Stats)
+			}
+			if iterOps == 0 {
+				iterOps = res.EngineOps
+			} else if res.EngineOps != iterOps {
+				t.Fatalf("workers=%d stealing=%v: EngineOps %d not deterministic (first saw %d)",
+					workers, stealing, res.EngineOps, iterOps)
+			}
+		}
+	}
+	if iterOps >= base.EngineOps {
+		t.Fatalf("parallel iterative EngineOps %d not below recursive %d", iterOps, base.EngineOps)
+	}
+}
+
+// Cancellation still terminates the iterative drain loop promptly and
+// surfaces ctx.Err; partial stats are permitted to differ between engines.
+func TestIterativeContextCancel(t *testing.T) {
+	t.Parallel()
+	outer, inner := tree.NewBalanced(1023), tree.NewBalanced(1023)
+	s := regularSpec(outer, inner)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	s.Work = func(o, i tree.NodeID) {
+		n++
+		if n == 400 {
+			cancel()
+		}
+	}
+	e := MustNew(s)
+	e.Engine = EngineIterative
+	if err := e.RunContext(ctx, Twisted()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Stats.Work >= int64(outer.Len())*int64(inner.Len()) {
+		t.Fatal("cancellation did not cut the run short")
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	t.Parallel()
+	for _, eng := range Engines() {
+		got, err := ParseEngine(eng.String())
+		if err != nil || got != eng {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", eng.String(), got, err, eng)
+		}
+	}
+	if Engine(99).String() != "unknown" {
+		t.Fatal("out-of-range engine should print unknown")
+	}
+	if _, err := ParseEngine("flat"); err == nil {
+		t.Fatal("ParseEngine should reject unknown names")
+	}
+	if _, err := ParseEngine(""); err == nil {
+		t.Fatal("ParseEngine should reject the empty string")
+	}
+}

@@ -169,6 +169,13 @@ type Exec struct {
 	// Spec.Hereditary; ignored otherwise). Default true.
 	SubtreeTruncation bool
 
+	// Engine selects the visit-engine implementation (see Engine): the
+	// paper-shaped recursive engine, or the explicit-stack iterative
+	// lowering. Both execute the identical schedule — Stats, Work order,
+	// checksums, and oracle verdicts are bit-identical — differing only in
+	// control-flow machinery (EngineOps). Default EngineRecursive.
+	Engine Engine
+
 	// Stats accumulates the operation counts for the run; see Stats. Reset
 	// before each Run.
 	Stats Stats
@@ -185,6 +192,13 @@ type Exec struct {
 	// Twisting control for the current run.
 	twist  bool
 	cutoff int32
+
+	// Iterative-engine state: the explicit frame stack (capacity reused
+	// across runs), the EngineOps step counter, and the single-active-row
+	// all-truncated register (see engine.go).
+	stack       []iframe
+	engineSteps int64
+	rowAllTrunc bool
 
 	// Cancellation state. ctx, when non-nil, is polled at outer-subtree
 	// granularity (every outer-recursion entry, rate-limited); the first
@@ -223,6 +237,12 @@ func (e *Exec) Spec() Spec { return e.spec }
 
 // Run executes the computation under the given schedule variant, starting
 // from the roots of the two trees, and leaves operation counts in e.Stats.
+//
+// Deprecated: new call sites should go through the unified facade
+// entrypoint, twist.Run (Run(v) is twist.Run(e, WithVariant(v))). The
+// method remains as the facade's sequential building block and for the
+// engine-infrastructure packages; depcheck.ScanExecRuns enforces the
+// boundary.
 func (e *Exec) Run(v Variant) {
 	e.RunFrom(v, e.spec.Outer.Root(), e.spec.Inner.Root())
 }
@@ -231,6 +251,9 @@ func (e *Exec) Run(v Variant) {
 // outer-subtree granularity (see canceled), and on cancellation the run
 // unwinds early, leaving the partial operation counts in e.Stats and
 // returning ctx.Err(). A nil ctx behaves exactly like Run.
+//
+// Deprecated: new call sites should go through twist.Run with WithContext;
+// see Run.
 func (e *Exec) RunContext(ctx context.Context, v Variant) error {
 	e.ctx = ctx
 	defer func() { e.ctx = nil }()
@@ -242,6 +265,9 @@ func (e *Exec) RunContext(ctx context.Context, v Variant) error {
 // and inner node i. It is the building block of the §7.3 parallel execution
 // (twisting applied to an already-spawned task) and of region-restricted
 // reruns; most callers want Run.
+//
+// Deprecated: new call sites outside the executors and the oracle should go
+// through twist.Run; see Run.
 func (e *Exec) RunFrom(v Variant, o, i tree.NodeID) {
 	e.Stats = Stats{}
 	e.prepare()
@@ -255,6 +281,8 @@ func (e *Exec) RunFrom(v Variant, o, i tree.NodeID) {
 func (e *Exec) prepare() {
 	e.ctxErr = nil
 	e.ctxPoll = 0
+	e.engineSteps = 0
+	e.stack = e.stack[:0]
 	if !e.irregular {
 		return
 	}
@@ -287,6 +315,10 @@ func (e *Exec) prepare() {
 // RunFrom is prepare + runVariant, and the work-stealing executor calls it
 // once per task, accumulating into the worker's Stats.
 func (e *Exec) runVariant(v Variant, o, i tree.NodeID) {
+	if e.Engine == EngineIterative {
+		e.runIterative(v, o, i)
+		return
+	}
 	switch v.Kind {
 	case KindOriginal:
 		e.twist = false

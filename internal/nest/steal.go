@@ -120,19 +120,22 @@ func (e *Exec) runStealing(cfg RunConfig, workers int, depth int32) (RunResult, 
 	r.deques[0].push(task{root: r.base.Outer.Root(), depth: 0})
 
 	perWorker := make([]Stats, workers)
+	engineOps := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r.worker(w, e.child(cfg.Ctx), &perWorker[w])
+			r.worker(w, e.child(cfg.Ctx), &perWorker[w], &engineOps[w])
 		}(w)
 	}
 	wg.Wait()
 
 	var merged Stats
-	for _, st := range perWorker {
+	var ops int64
+	for w, st := range perWorker {
 		merged.Add(st)
+		ops += engineOps[w]
 	}
 	res := RunResult{
 		Stats:     merged,
@@ -140,6 +143,7 @@ func (e *Exec) runStealing(cfg RunConfig, workers int, depth int32) (RunResult, 
 		Workers:   workers,
 		Tasks:     r.tasks.Load(),
 		Steals:    r.steals.Load(),
+		EngineOps: ops,
 	}
 	if r.aborted.Load() {
 		return res, cfg.Ctx.Err()
@@ -152,7 +156,7 @@ func (e *Exec) runStealing(cfg RunConfig, workers int, depth int32) (RunResult, 
 // the single oldest task, keep the rest locally — the local deque is empty,
 // so they always fit); back off when everyone is dry but tasks are still in
 // flight; exit when no task is pending anywhere.
-func (r *stealRun) worker(w int, e *Exec, out *Stats) {
+func (r *stealRun) worker(w int, e *Exec, out *Stats, ops *int64) {
 	var scratch []task
 	idle := 0
 	for {
@@ -188,6 +192,7 @@ func (r *stealRun) worker(w int, e *Exec, out *Stats) {
 		}
 	}
 	*out = e.Stats
+	*ops = e.EngineOps()
 }
 
 // runTask executes one unit on worker w's Exec: split nodes push their
@@ -229,7 +234,7 @@ func (r *stealRun) runTask(e *Exec, w int, t task) {
 				e.spec = spec
 			}
 		}
-		e.inner(t.root, r.iRoot)
+		e.column(t.root, r.iRoot)
 	} else {
 		e.runVariant(r.cfg.Variant, t.root, r.iRoot)
 	}

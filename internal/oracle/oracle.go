@@ -198,11 +198,21 @@ func captureOnce(s nest.Spec, o, i tree.NodeID) (*Trace, error) {
 type Runner func(s nest.Spec, o, i tree.NodeID, visit func(o, i tree.NodeID))
 
 // EngineRunner adapts the in-repo engine to a Runner: variant v under flag
-// mode fm, with or without the §4.2 subtree-truncation optimization.
+// mode fm, with or without the §4.2 subtree-truncation optimization, on the
+// default recursive visit engine.
 func EngineRunner(v nest.Variant, fm nest.FlagMode, subtree bool) Runner {
+	return EngineRunnerOn(nest.EngineRecursive, v, fm, subtree)
+}
+
+// EngineRunnerOn is EngineRunner on an explicit visit engine (recursive or
+// the iterative lowering, DESIGN.md §4.13). The engine axis must be invisible
+// to the oracle — a diverging verdict here is an engine bug, not a schedule
+// bug.
+func EngineRunnerOn(eng nest.Engine, v nest.Variant, fm nest.FlagMode, subtree bool) Runner {
 	return func(s nest.Spec, o, i tree.NodeID, visit func(o, i tree.NodeID)) {
 		s.Work = visit
 		e := nest.MustNew(s)
+		e.Engine = eng
 		e.Flags = fm
 		e.SubtreeTruncation = subtree
 		e.RunFrom(v, o, i)
@@ -421,10 +431,21 @@ func (g *Trace) Check(s nest.Spec, run Runner, label string) *Verdict {
 }
 
 // CheckVariant checks one engine schedule (variant × flag mode × subtree
-// optimization) against the golden trace, with counterexample minimization.
+// optimization) against the golden trace, with counterexample minimization,
+// on the default recursive visit engine.
 func (g *Trace) CheckVariant(s nest.Spec, v nest.Variant, fm nest.FlagMode, subtree bool) *Verdict {
+	return g.CheckVariantOn(s, nest.EngineRecursive, v, fm, subtree)
+}
+
+// CheckVariantOn is CheckVariant on an explicit visit engine. The label (and
+// so the verdict text) only mentions the engine when it is not the recursive
+// default, keeping recursive verdicts byte-identical to CheckVariant's.
+func (g *Trace) CheckVariantOn(s nest.Spec, eng nest.Engine, v nest.Variant, fm nest.FlagMode, subtree bool) *Verdict {
 	label := fmt.Sprintf("%v flags=%v subtree=%v", v, fm, subtree)
-	return g.Check(s, EngineRunner(v, fm, subtree), label)
+	if eng != nest.EngineRecursive {
+		label += fmt.Sprintf(" engine=%v", eng)
+	}
+	return g.Check(s, EngineRunnerOn(eng, v, fm, subtree), label)
 }
 
 // CheckSequence compares an externally produced visit sequence (no re-run is
@@ -460,5 +481,8 @@ func (g *Trace) CheckParallel(s nest.Spec, cfg nest.RunConfig) (*Verdict, error)
 		return nil, err
 	}
 	label := fmt.Sprintf("%v workers=%d stealing=%v", cfg.Variant, cfg.Workers, cfg.Stealing)
+	if cfg.Engine != nest.EngineRecursive {
+		label += fmt.Sprintf(" engine=%v", cfg.Engine)
+	}
 	return g.compare(label, bufs, s.Outer.Root(), s.Inner.Root()), nil
 }

@@ -35,6 +35,9 @@ type RunResult struct {
 	// under; omitted for the default build-order arena, so pre-layout
 	// responses are byte-identical.
 	Layout string `json:"layout,omitempty"`
+	// Engine is the visit engine the run executed on; omitted for the
+	// default recursive engine, so pre-engine responses keep their shape.
+	Engine string `json:"engine,omitempty"`
 
 	// Checksum is the workload's result checksum in obs.FormatUint form —
 	// identical across every schedule and worker count for one instance.
@@ -45,6 +48,13 @@ type RunResult struct {
 	// under the instruction model.
 	Stats nest.Stats `json:"stats"`
 	Ops   int64      `json:"ops"`
+
+	// EngineOps is the visit-engine overhead counter (nest.Exec.EngineOps):
+	// activation records for the recursive engine, drain-loop steps for the
+	// iterative one. Deterministic for a fixed spec — it is the response's
+	// schedule-overhead signal, and the axis the iterative engine exists to
+	// shrink (DESIGN.md §4.13).
+	EngineOps int64 `json:"engine_ops"`
 
 	// Tasks is the parallel task count (1 for a sequential run).
 	Tasks int64 `json:"tasks"`
@@ -90,47 +100,51 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng, err := specEngine(s.Engine)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &RunResult{
 		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
 		Workers: s.Workers, FlagMode: s.FlagMode, SimWorkers: s.SimWorkers,
-		Geometry: s.Geometry, Layout: s.Layout,
+		Geometry: s.Geometry, Layout: s.Layout, Engine: s.Engine,
 	}
 
 	// Phase 1: the engine run under the requested executor. Merged Stats
 	// are deterministic across worker counts (fixed spawn depth), so the
 	// response body does not depend on scheduling.
 	if s.Workers <= 1 {
-		in.Reset()
-		e := nest.MustNew(in.Spec)
-		e.Flags = fm
-		if err := e.RunContext(ctx, v); err != nil {
+		st, engOps, err := in.RunSeq(ctx, v, func(e *nest.Exec) {
+			e.Flags = fm
+			e.Engine = eng
+		})
+		if err != nil {
 			return nil, err
 		}
-		e.Stats.ExtraOps = in.ExtraOps()
 		if rec != nil {
-			e.Stats.Record(rec, "nest")
+			st.Record(rec, "nest")
+			rec.Count("nest.engine.ops", engOps)
+			rec.Count("nest.engine."+eng.String(), 1)
 		}
-		res.Stats = e.Stats
+		res.Stats = st
+		res.EngineOps = engOps
 		res.Tasks = 1
 	} else {
-		in.Reset()
-		e := nest.MustNew(in.Spec)
-		e.Flags = fm
-		r, err := e.RunWith(nest.RunConfig{
+		r, err := in.RunWith(nest.RunConfig{
 			Variant:  v,
+			Engine:   eng,
 			Workers:  s.Workers,
 			Stealing: true,
 			Ctx:      ctx,
-			ForTask:  in.ForTask,
 			Layout:   s.Layout,
 			Recorder: rec,
 		})
 		if err != nil {
 			return nil, err
 		}
-		r.Stats.ExtraOps = in.ExtraOps()
 		res.Stats = r.Stats
+		res.EngineOps = r.EngineOps
 		res.Tasks = r.Tasks
 	}
 	res.Ops = res.Stats.Ops()
@@ -157,11 +171,10 @@ func (s *RunSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	defer sim.Close()
 	tracedRun := func() error {
 		st := memsim.NewStream(sim, 0)
-		sk := st.Sink()
-		lin.Reset()
-		e := nest.MustNew(lin.TracedSpec(sk.Emit))
-		e.Flags = fm
-		err := e.RunContext(ctx, v)
+		_, _, err := lin.RunSink(ctx, v, st.Sink(), func(e *nest.Exec) {
+			e.Flags = fm
+			e.Engine = eng
+		})
 		st.Close()
 		return err
 	}
@@ -195,6 +208,9 @@ type MissCurveResult struct {
 	// Layout is the arena layout the distances were measured under; omitted
 	// for the default build-order arena (see RunResult.Layout).
 	Layout string `json:"layout,omitempty"`
+	// Engine is the visit engine the trace was produced on; omitted for the
+	// default recursive engine (see RunResult.Engine).
+	Engine string `json:"engine,omitempty"`
 
 	// Histogram summary over line-granular stack distances.
 	Accesses      int64   `json:"accesses"`
@@ -238,6 +254,10 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	eng, err := specEngine(s.Engine)
+	if err != nil {
+		return nil, err
+	}
 
 	lk, err := layout.ParseKind(s.Layout)
 	if err != nil {
@@ -251,11 +271,8 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 	ra := memsim.NewReuseAnalyzer()
 	h := memsim.NewHistogram()
 	line := memsim.Addr(s.LineBytes)
-	lin.Reset()
-	e := nest.MustNew(lin.TracedSpec(func(a memsim.Addr) {
-		h.Add(ra.Access(a / line))
-	}))
-	if err := e.RunContext(ctx, v); err != nil {
+	emit := func(a memsim.Addr) { h.Add(ra.Access(a / line)) }
+	if _, _, err := lin.RunEmit(ctx, v, emit, func(e *nest.Exec) { e.Engine = eng }); err != nil {
 		return nil, err
 	}
 	if rec != nil {
@@ -265,7 +282,7 @@ func (s *MissCurveSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 
 	res := &MissCurveResult{
 		Workload: s.Workload, Variant: s.Variant, Scale: s.Scale, Seed: s.Seed,
-		LineBytes: s.LineBytes, Layout: s.Layout,
+		LineBytes: s.LineBytes, Layout: s.Layout, Engine: s.Engine,
 		Accesses:      h.Total(),
 		DistinctLines: ra.Distinct(),
 		ColdMisses:    h.InfiniteCount(),
@@ -356,6 +373,9 @@ type OracleResult struct {
 	Variant  string `json:"variant"`
 	FlagMode string `json:"flag_mode"`
 	Subtree  bool   `json:"subtree"`
+	// Engine is the visit engine the check ran on; omitted for the default
+	// recursive engine (see RunResult.Engine).
+	Engine   string `json:"engine,omitempty"`
 	Workers  int    `json:"workers"`
 	Stealing bool   `json:"stealing"`
 
@@ -401,6 +421,10 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng, err := specEngine(s.Engine)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -414,10 +438,11 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	}
 	var verdict *oracle.Verdict
 	if s.Workers == 0 {
-		verdict = g.CheckVariant(spec, v, fm, !s.NoSubtree)
+		verdict = g.CheckVariantOn(spec, eng, v, fm, !s.NoSubtree)
 	} else {
 		verdict, err = g.CheckParallel(spec, nest.RunConfig{
 			Variant:  v,
+			Engine:   eng,
 			Workers:  s.Workers,
 			Stealing: s.Stealing,
 			Ctx:      ctx,
@@ -429,7 +454,7 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 	}
 	return &OracleResult{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed, Variant: s.Variant,
-		FlagMode: s.FlagMode, Subtree: !s.NoSubtree,
+		FlagMode: s.FlagMode, Subtree: !s.NoSubtree, Engine: s.Engine,
 		Workers: s.Workers, Stealing: s.Stealing,
 		GoldenVisits:  g.Visits(),
 		GoldenColumns: g.Columns(),
@@ -440,6 +465,15 @@ func (s *OracleSpec) exec(ctx context.Context, rec obs.Recorder) (any, error) {
 		Detail:        verdict.String(),
 		Verdict:       verdict,
 	}, nil
+}
+
+// specEngine resolves a normalized spec's engine name ("" is the elided
+// recursive default, see normalizeEngine).
+func specEngine(name string) (nest.Engine, error) {
+	if name == "" {
+		return nest.EngineRecursive, nil
+	}
+	return nest.ParseEngine(name)
 }
 
 // parseVariantExpr resolves a normalized spec's schedule expression onto

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestEngineDigestCanonicalization verifies the engine field's digest
+// discipline, mirroring the layout axis: the default recursive engine
+// (however spelled) elides to the empty string — so engine-free requests
+// keep their pre-engine content digests — while "iterative" canonicalizes
+// to its one name and digests distinctly.
+func TestEngineDigestCanonicalization(t *testing.T) {
+	t.Parallel()
+	norm := func(s Spec) string {
+		t.Helper()
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return Digest(s)
+	}
+	base := norm(&RunSpec{Workload: "TJ"})
+	for _, spelling := range []string{"recursive", "RECURSIVE"} {
+		s := &RunSpec{Workload: "TJ", Engine: spelling}
+		if d := norm(s); d != base {
+			t.Errorf("engine %q digests %s, want the engine-free digest %s", spelling, d, base)
+		}
+		if s.Engine != "" {
+			t.Errorf("engine %q canonicalized to %q, want \"\"", spelling, s.Engine)
+		}
+	}
+	iter := &RunSpec{Workload: "TJ", Engine: "ITERATIVE"}
+	if d := norm(iter); d == base {
+		t.Error("iterative run digests identically to the engine-free request")
+	}
+	if iter.Engine != "iterative" {
+		t.Errorf("engine canonicalized to %q, want \"iterative\"", iter.Engine)
+	}
+	mc := &MissCurveSpec{Workload: "TJ", Engine: "Recursive"}
+	if err := mc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Engine != "" {
+		t.Errorf("misscurve engine canonicalized to %q, want \"\"", mc.Engine)
+	}
+	oc := &OracleSpec{Workload: "TJ", Engine: "iterative"}
+	if err := oc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if oc.Engine != "iterative" {
+		t.Errorf("oracle engine canonicalized to %q, want \"iterative\"", oc.Engine)
+	}
+	bad := &RunSpec{Workload: "TJ", Engine: "flat"}
+	if err := bad.Normalize(); err == nil {
+		t.Error("Normalize accepted unknown engine \"flat\"")
+	}
+}
+
+// TestDifferentialRunEngine extends the bit-identical-response contract to
+// the engine axis: an iterative run job serves exactly the direct library
+// call, reproduces every semantic column of its recursive twin — checksum,
+// stats, ops, tasks, simulated miss rates — and spends strictly fewer
+// engine ops on the twisted schedule (the counter the lowering exists to
+// shrink).
+func TestDifferentialRunEngine(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 64})
+	for _, workers := range []int{1, 4} {
+		baseSpec := RunSpec{Workload: "PC", Variant: "twisted", Scale: diffScale, Seed: diffSeed, Workers: workers}
+		base, err := RunJob(context.Background(), &baseSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := RunSpec{
+			Workload: "PC", Variant: "twisted",
+			Scale: diffScale, Seed: diffSeed, Workers: workers, Engine: "iterative",
+		}
+		direct := spec
+		want, err := RunJob(context.Background(), &direct)
+		if err != nil {
+			t.Fatalf("direct RunJob: %v", err)
+		}
+		if want.Engine != "iterative" {
+			t.Errorf("result echoes engine %q, want \"iterative\"", want.Engine)
+		}
+		if want.Checksum != base.Checksum || want.Stats != base.Stats ||
+			want.Ops != base.Ops || want.Tasks != base.Tasks {
+			t.Errorf("workers=%d: iterative engine changed a semantic column:\n iter %+v\n rec  %+v",
+				workers, want, base)
+		}
+		for li := range want.MissRates {
+			if want.MissRates[li] != base.MissRates[li] {
+				t.Errorf("workers=%d: iterative engine moved simulated level %s", workers, want.MissRates[li].Level)
+			}
+		}
+		if want.EngineOps >= base.EngineOps {
+			t.Errorf("workers=%d: iterative engine ops %d not below recursive %d",
+				workers, want.EngineOps, base.EngineOps)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body := postJob(t, ts.URL, KindRun, spec)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		env := decodeEnvelope(t, body)
+		if !bytes.Equal(env.Result, wantJSON) {
+			t.Errorf("served result differs from direct library call\nserved: %s\ndirect: %s", env.Result, wantJSON)
+		}
+		if env.Digest != Digest(&direct) {
+			t.Errorf("digest %s, want %s", env.Digest, Digest(&direct))
+		}
+	}
+}
+
+// TestEngineCacheCoalescing verifies engine spellings share cache entries
+// exactly when they canonicalize identically: an explicit "recursive"
+// request is a cache hit on the engine-free twin, while "iterative" is its
+// own entry (fresh on first post, hit on repeat).
+func TestEngineCacheCoalescing(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 64})
+	post := func(spec RunSpec) envelope {
+		t.Helper()
+		status, body := postJob(t, ts.URL, KindRun, spec)
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		return decodeEnvelope(t, body)
+	}
+	spec := RunSpec{Workload: "TJ", Variant: "twisted", Scale: diffScale, Seed: diffSeed}
+	first := post(spec)
+	if first.Cached {
+		t.Fatal("first engine-free request was already cached")
+	}
+	spec.Engine = "recursive"
+	if second := post(spec); !second.Cached || second.Digest != first.Digest {
+		t.Errorf("explicit recursive request missed the engine-free cache entry (cached=%v, digest %s vs %s)",
+			second.Cached, second.Digest, first.Digest)
+	}
+	spec.Engine = "iterative"
+	iter := post(spec)
+	if iter.Cached || iter.Digest == first.Digest {
+		t.Errorf("iterative request must be its own cache entry (cached=%v)", iter.Cached)
+	}
+	if again := post(spec); !again.Cached {
+		t.Error("repeated iterative request was not a cache hit")
+	}
+}
+
+// TestOracleEngineJobs runs the oracle job against the iterative engine,
+// sequentially and under the parallel executor: the lowering must be
+// invisible to the permutation-equivalence check, and the verdict label
+// must name the engine under test.
+func TestOracleEngineJobs(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 3} {
+		spec := OracleSpec{
+			Workload: "PC", Variant: "twisted", Scale: 512, Seed: diffSeed,
+			Engine: "iterative", Workers: workers, Stealing: workers > 0,
+		}
+		res, err := OracleJob(context.Background(), &spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Errorf("workers=%d: iterative engine fails the oracle: %s", workers, res.Detail)
+		}
+		if res.Engine != "iterative" {
+			t.Errorf("workers=%d: result echoes engine %q, want \"iterative\"", workers, res.Engine)
+		}
+		if !bytes.Contains([]byte(res.Detail), []byte("engine=iterative")) {
+			t.Errorf("workers=%d: verdict label %q does not name the engine", workers, res.Detail)
+		}
+	}
+}

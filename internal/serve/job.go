@@ -35,6 +35,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"twist/internal/layout"
 	"twist/internal/memsim"
@@ -138,6 +139,12 @@ type RunSpec struct {
 	// FlagMode is the truncation-flag representation (sets, counter).
 	// Default counter.
 	FlagMode string `json:"flag_mode,omitempty"`
+	// Engine names the visit engine (nest.ParseEngine): recursive or the
+	// iterative explicit-stack lowering (DESIGN.md §4.13). The default
+	// recursive engine canonicalizes to "", so engine-free requests keep
+	// their pre-engine digests; the engine cannot change the checksum,
+	// stats, or miss rates of a job — only how fast it runs.
+	Engine string `json:"engine,omitempty"`
 	// SimWorkers sizes the cache simulation: <= 1 sequential, > 1
 	// set-partitioned shards (stats bit-identical either way, §4.8).
 	SimWorkers int `json:"sim_workers,omitempty"`
@@ -174,6 +181,9 @@ func (s *RunSpec) Normalize() error {
 		return fmt.Errorf("serve: workers %d exceeds the limit %d", s.Workers, MaxWorkers)
 	}
 	if err := normalizeFlagMode(&s.FlagMode); err != nil {
+		return err
+	}
+	if err := normalizeEngine(&s.Engine); err != nil {
 		return err
 	}
 	if s.SimWorkers <= 1 {
@@ -213,6 +223,11 @@ type MissCurveSpec struct {
 	// Layout names the arena layout node addresses are generated under; see
 	// RunSpec.Layout. Default build-order (canonicalized to "").
 	Layout string `json:"layout,omitempty"`
+	// Engine names the visit engine the trace is produced on; see
+	// RunSpec.Engine. The engines trace identical address sequences, so the
+	// curve cannot depend on this axis. Default recursive (canonicalized to
+	// "").
+	Engine string `json:"engine,omitempty"`
 }
 
 // Kind implements Spec.
@@ -245,6 +260,9 @@ func (s *MissCurveSpec) Normalize() error {
 	}
 	if s.LineBytes < 8 || s.LineBytes > 4096 || s.LineBytes&(s.LineBytes-1) != 0 {
 		return fmt.Errorf("serve: line_bytes %d must be a power of two in 8..4096", s.LineBytes)
+	}
+	if err := normalizeEngine(&s.Engine); err != nil {
+		return err
 	}
 	return normalizeLayout(&s.Layout)
 }
@@ -328,6 +346,10 @@ type OracleSpec struct {
 	// NoSubtree disables the §4.2 subtree-truncation optimization in
 	// sequential checks (the default checks the optimized schedule).
 	NoSubtree bool `json:"no_subtree,omitempty"`
+	// Engine names the visit engine under test; see RunSpec.Engine. A
+	// diverging verdict on the iterative engine indicts the lowering, not
+	// the schedule. Default recursive (canonicalized to "").
+	Engine string `json:"engine,omitempty"`
 	// Workers selects the check: 0 checks the sequential engine schedule;
 	// >= 1 checks the parallel executor at that worker count
 	// (oracle.Trace.CheckParallel, including column-confinement).
@@ -354,6 +376,9 @@ func (s *OracleSpec) Normalize() error {
 		return err
 	}
 	if err := normalizeFlagMode(&s.FlagMode); err != nil {
+		return err
+	}
+	if err := normalizeEngine(&s.Engine); err != nil {
 		return err
 	}
 	if s.Workers < 0 {
@@ -440,6 +465,26 @@ func normalizeLayout(name *string) error {
 		*name = ""
 	} else {
 		*name = k.String()
+	}
+	return nil
+}
+
+// normalizeEngine canonicalizes a visit-engine name. The default recursive
+// engine elides to "" — an engine-free request and an explicit "recursive"
+// request are the same job, and requests predating the engine axis keep
+// their content digests (the same contract as normalizeLayout).
+func normalizeEngine(name *string) error {
+	if *name == "" {
+		return nil
+	}
+	eng, err := nest.ParseEngine(strings.ToLower(*name))
+	if err != nil {
+		return fmt.Errorf("serve: %v", err)
+	}
+	if eng == nest.EngineRecursive {
+		*name = ""
+	} else {
+		*name = eng.String()
 	}
 	return nil
 }

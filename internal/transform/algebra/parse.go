@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"twist/internal/nest"
 )
 
 // ParseSchedule parses a schedule expression: terms joined by the
@@ -113,16 +111,40 @@ func parseTerm(term string) ([]Transformation, error) {
 		return []Transformation{Inlining{Depth: n}}, nil
 	}
 	// Legacy spellings that are not bare identifiers ("twisted",
-	// "twisted-cutoff[:N]") go through the variant parser so the two
-	// grammars can never drift apart.
+	// "twisted-cutoff[:N]") are parsed here against the canonical schedules
+	// FromVariant assigns them; TestLegacyTermsMatchVariantGrammar pins the
+	// two grammars together so they cannot drift apart.
 	if !hasArg {
-		if v, err := nest.ParseVariant(name); err == nil {
-			s, err := FromVariant(v)
-			if err != nil {
-				return nil, err
-			}
-			return s.Ops(), nil
+		if ops, ok, err := parseLegacyTerm(name); ok {
+			return ops, err
 		}
 	}
 	return nil, fmt.Errorf("algebra: unknown term %q (want identity, interchange, twist[(flagged)], stripmine(N), inline(K), or a legacy variant name)", term)
+}
+
+// parseLegacyTerm handles the colon-argument variant spellings of
+// nest.Variant.String that parseTerm's switch does not: "twisted" denotes
+// twist(flagged) and "twisted-cutoff[:N]" denotes stripmine(N)∘twist(flagged)
+// (N defaults to 0, the bare §7.1 guard site). ok reports whether the term is
+// a legacy spelling at all; err reports a malformed argument on one that is.
+func parseLegacyTerm(term string) (ops []Transformation, ok bool, err error) {
+	name, arg, hasArg := strings.Cut(term, ":")
+	switch name {
+	case "twisted":
+		if hasArg {
+			return nil, true, fmt.Errorf("algebra: term %q takes no argument (use twisted-cutoff:N)", term)
+		}
+		return []Transformation{CodeMotion{Flagged: true}}, true, nil
+	case "twisted-cutoff":
+		cutoff := 0
+		if hasArg {
+			n, aerr := strconv.Atoi(arg)
+			if aerr != nil || n < 0 {
+				return nil, true, fmt.Errorf("algebra: bad cutoff %q in term %q", arg, term)
+			}
+			cutoff = n
+		}
+		return []Transformation{StripMine{Cutoff: cutoff}, CodeMotion{Flagged: true}}, true, nil
+	}
+	return nil, false, nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"twist/internal/nest"
 )
 
 func TestParseSchedule(t *testing.T) {
@@ -131,6 +133,40 @@ func TestQuickOperatorEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// parseLegacyTerm owns the colon-argument variant spellings, so this test
+// pins its grammar to the engine's: every nest.Variant prints to a term that
+// parses back to FromVariant's canonical schedule, and the argument errors
+// the engine parser rejects stay rejected here.
+func TestLegacyTermsMatchVariantGrammar(t *testing.T) {
+	t.Parallel()
+	variants := []nest.Variant{
+		nest.Original(),
+		nest.Interchanged(),
+		nest.Twisted(),
+		nest.TwistedCutoff(0),
+		nest.TwistedCutoff(64),
+	}
+	for _, v := range variants {
+		want, err := FromVariant(v)
+		if err != nil {
+			t.Fatalf("FromVariant(%v): %v", v, err)
+		}
+		got, err := ParseSchedule(v.String())
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", v.String(), err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSchedule(%q) = %v, want %v", v.String(), got, want)
+		}
+	}
+	for _, src := range []string{"twisted:3", "twisted-cutoff:x", "twisted-cutoff:-1"} {
+		if _, err := ParseSchedule(src); err == nil {
+			t.Errorf("ParseSchedule(%q) unexpectedly succeeded", src)
+		}
 	}
 }
 

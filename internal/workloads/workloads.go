@@ -16,6 +16,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -98,12 +99,66 @@ func (in *Instance) TracedSpec(emit func(memsim.Addr)) nest.Spec {
 // Run executes the instance under variant v with the given flag mode and
 // returns the engine statistics (including ExtraOps).
 func (in *Instance) Run(v nest.Variant, fm nest.FlagMode) nest.Stats {
+	st, _, err := in.RunSeq(nil, v, func(e *nest.Exec) { e.Flags = fm })
+	if err != nil {
+		panic(err) // unreachable: a nil ctx never cancels
+	}
+	return st
+}
+
+// RunSeq executes the instance sequentially under v on a fresh Exec,
+// applying configure (flag mode, engine, subtree truncation, ...) before the
+// run. It is the single sequential entry point the harnesses (serve,
+// experiments, nestbench) drive instead of building raw Execs. It returns
+// the run's Stats with ExtraOps folded in, the engine-overhead counter
+// (nest.Exec.EngineOps), and the context error, if any. ctx may be nil.
+func (in *Instance) RunSeq(ctx context.Context, v nest.Variant, configure func(*nest.Exec)) (nest.Stats, int64, error) {
 	in.Reset()
 	e := nest.MustNew(in.Spec)
-	e.Flags = fm
-	e.Run(v)
+	if configure != nil {
+		configure(e)
+	}
+	err := e.RunContext(ctx, v)
 	e.Stats.ExtraOps = in.ExtraOps()
-	return e.Stats
+	return e.Stats, e.EngineOps(), err
+}
+
+// RunEmit is RunSeq over the traced spec: every visit's memory accesses are
+// replayed, in access order, into emit before the visit's work runs.
+func (in *Instance) RunEmit(ctx context.Context, v nest.Variant, emit func(memsim.Addr), configure func(*nest.Exec)) (nest.Stats, int64, error) {
+	in.Reset()
+	e := nest.MustNew(in.TracedSpec(emit))
+	if configure != nil {
+		configure(e)
+	}
+	err := e.RunContext(ctx, v)
+	e.Stats.ExtraOps = in.ExtraOps()
+	return e.Stats, e.EngineOps(), err
+}
+
+// RunSink is the batched form of RunEmit for simulator pipelines: each
+// visit's accesses are gathered into a reusable scratch buffer and handed to
+// sink as one EmitBatch call, amortizing the per-address emission cost on
+// the trace hot path. Batch boundaries — and therefore simulated stats —
+// are identical to emitting address-by-address.
+func (in *Instance) RunSink(ctx context.Context, v nest.Variant, sink *memsim.Sink, configure func(*nest.Exec)) (nest.Stats, int64, error) {
+	in.Reset()
+	var scratch []memsim.Addr
+	trace, work := in.Trace, in.Spec.Work
+	s := in.Spec
+	s.Work = func(o, i tree.NodeID) {
+		scratch = scratch[:0]
+		trace(o, i, func(a memsim.Addr) { scratch = append(scratch, a) })
+		sink.EmitBatch(scratch)
+		work(o, i)
+	}
+	e := nest.MustNew(s)
+	if configure != nil {
+		configure(e)
+	}
+	err := e.RunContext(ctx, v)
+	e.Stats.ExtraOps = in.ExtraOps()
+	return e.Stats, e.EngineOps(), err
 }
 
 // OracleSpec returns the Spec the semantic-equivalence oracle should check

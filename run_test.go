@@ -1,0 +1,219 @@
+package twist_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twist"
+)
+
+// sumSpec builds a deterministic n×n join whose result lands in the returned
+// atomic (safe for both sequential and parallel runs).
+func sumSpec(n int) (twist.Spec, *atomic.Int64) {
+	var sum atomic.Int64
+	return twist.Spec{
+		Outer: twist.NewBalancedTree(n),
+		Inner: twist.NewBalancedTree(n),
+		Work: func(o, i twist.NodeID) {
+			sum.Add(int64(o)*31 + int64(i))
+		},
+	}, &sum
+}
+
+// The pinning contract of the unified entrypoint: Run with only a variant is
+// byte-identical to the legacy Exec.Run — same Stats, same result — wrapped
+// in the sequential RunResult shape.
+func TestRunMatchesExecRun(t *testing.T) {
+	for _, v := range []twist.Variant{
+		twist.Original(), twist.Interchanged(), twist.Twisted(), twist.TwistedCutoff(8),
+	} {
+		legacySpec, legacySum := sumSpec(127)
+		legacy := twist.MustNew(legacySpec)
+		legacy.Run(v)
+
+		spec, sum := sumSpec(127)
+		res, err := twist.Run(twist.MustNew(spec), twist.WithVariant(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Stats != legacy.Stats {
+			t.Errorf("%v: Run stats %+v, Exec.Run stats %+v", v, res.Stats, legacy.Stats)
+		}
+		if sum.Load() != legacySum.Load() {
+			t.Errorf("%v: Run result %d, Exec.Run result %d", v, sum.Load(), legacySum.Load())
+		}
+		if res.Workers != 1 || res.Tasks != 1 || len(res.PerWorker) != 1 {
+			t.Errorf("%v: sequential result shape %+v", v, res)
+		}
+		if res.EngineOps <= 0 {
+			t.Errorf("%v: engine ops %d", v, res.EngineOps)
+		}
+	}
+}
+
+// WithWorkers(n > 1) must be byte-identical to the legacy Exec.RunWith on
+// the work-stealing executor.
+func TestRunMatchesRunWith(t *testing.T) {
+	legacySpec, legacySum := sumSpec(255)
+	want, err := twist.MustNew(legacySpec).RunWith(twist.RunConfig{
+		Variant: twist.Twisted(), Workers: 4, Stealing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, sum := sumSpec(255)
+	got, err := twist.Run(twist.MustNew(spec),
+		twist.WithVariant(twist.Twisted()), twist.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats || got.Tasks != want.Tasks || got.EngineOps != want.EngineOps {
+		t.Errorf("Run %+v, RunWith %+v", got, want)
+	}
+	if sum.Load() != legacySum.Load() {
+		t.Errorf("Run result %d, RunWith result %d", sum.Load(), legacySum.Load())
+	}
+	if got.Workers != 4 {
+		t.Errorf("workers %d, want 4", got.Workers)
+	}
+}
+
+// The engine axis through the facade: bit-identical Stats and results, with
+// the iterative engine's overhead counter strictly below the recursive one
+// on the twisted schedule (DESIGN.md §4.13).
+func TestRunEngineAxis(t *testing.T) {
+	recSpec, recSum := sumSpec(255)
+	rec, err := twist.Run(twist.MustNew(recSpec), twist.WithVariant(twist.Twisted()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterSpec, iterSum := sumSpec(255)
+	iter, err := twist.Run(twist.MustNew(iterSpec),
+		twist.WithVariant(twist.Twisted()), twist.WithEngine(twist.EngineIterative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.Stats != rec.Stats || iterSum.Load() != recSum.Load() {
+		t.Errorf("engines diverge: iterative %+v sum=%d, recursive %+v sum=%d",
+			iter.Stats, iterSum.Load(), rec.Stats, recSum.Load())
+	}
+	if iter.EngineOps <= 0 || iter.EngineOps >= rec.EngineOps {
+		t.Errorf("iterative engine ops %d not below recursive %d", iter.EngineOps, rec.EngineOps)
+	}
+	if eng, err := twist.ParseEngine("iterative"); err != nil || eng != twist.EngineIterative {
+		t.Errorf("ParseEngine(iterative) = %v, %v", eng, err)
+	}
+	if got := twist.Engines(); len(got) != 2 || got[0] != twist.EngineRecursive {
+		t.Errorf("Engines() = %v", got)
+	}
+}
+
+// WithSchedule lowers algebra schedules onto the same execution WithVariant
+// selects; the two spellings are bit-identical.
+func TestRunWithSchedule(t *testing.T) {
+	exprSpec, _ := sumSpec(127)
+	expr, err := twist.Run(twist.MustNew(exprSpec),
+		twist.WithSchedule(twist.MustParseSchedule("stripmine(8)∘twist(flagged)")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	varSpec, _ := sumSpec(127)
+	v, err := twist.Run(twist.MustNew(varSpec), twist.WithVariant(twist.TwistedCutoff(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.Stats != v.Stats {
+		t.Errorf("schedule form %+v, variant form %+v", expr.Stats, v.Stats)
+	}
+}
+
+// countRecorder is a concurrency-safe test Recorder.
+type countRecorder struct {
+	mu     sync.Mutex
+	counts map[string]int64
+	times  map[string]int
+}
+
+func (r *countRecorder) Count(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counts == nil {
+		r.counts = map[string]int64{}
+	}
+	r.counts[name] += delta
+}
+
+func (r *countRecorder) Time(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.times == nil {
+		r.times = map[string]int{}
+	}
+	r.times[name]++
+}
+
+// The sequential path honors the parallel executor's telemetry contract:
+// the same keys, with the engine axis and carried dimensions pinned.
+func TestRunTelemetryAndDimensions(t *testing.T) {
+	spec, _ := sumSpec(127)
+	rec := &countRecorder{}
+	res, err := twist.Run(twist.MustNew(spec),
+		twist.WithVariant(twist.Twisted()),
+		twist.WithEngine(twist.EngineIterative),
+		twist.WithLayout(twist.VEBLayout),
+		twist.WithSimWorkers(2),
+		twist.WithRecorder(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]int64{
+		"nest.tasks":            1,
+		"nest.workers":          1,
+		"nest.engine.ops":       res.EngineOps,
+		"nest.engine.iterative": 1,
+		"nest.layout.veb":       1,
+		"nest.simworkers":       2,
+	} {
+		if got := rec.counts[key]; got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	if rec.times["nest.run"] != 1 {
+		t.Errorf("nest.run recorded %d times", rec.times["nest.run"])
+	}
+
+	// The default layout elides from telemetry, mirroring the serve API.
+	spec2, _ := sumSpec(127)
+	rec2 := &countRecorder{}
+	if _, err := twist.Run(twist.MustNew(spec2),
+		twist.WithLayout(twist.BuildOrderLayout), twist.WithRecorder(rec2)); err != nil {
+		t.Fatal(err)
+	}
+	for key := range rec2.counts {
+		if key == "nest.layout.buildorder" {
+			t.Errorf("default layout leaked into telemetry: %v", rec2.counts)
+		}
+	}
+	if rec2.counts["nest.engine.recursive"] != 1 {
+		t.Errorf("default engine not pinned: %v", rec2.counts)
+	}
+}
+
+// Cancellation and nil-Exec errors surface through the one entrypoint.
+func TestRunErrors(t *testing.T) {
+	if _, err := twist.Run(nil); err == nil {
+		t.Error("Run(nil) succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec, _ := sumSpec(255)
+	if _, err := twist.Run(twist.MustNew(spec),
+		twist.WithVariant(twist.Twisted()), twist.WithContext(ctx)); err == nil {
+		t.Error("Run with a canceled context succeeded")
+	}
+}

@@ -30,11 +30,14 @@
 //		Work:  func(o, i twist.NodeID) { join(o, i) },
 //	}
 //	exec := twist.MustNew(spec)
-//	exec.Run(twist.Twisted())
+//	res, err := twist.Run(exec, twist.WithVariant(twist.Twisted()))
 //
 // The iteration order changes; the set of Work invocations (and, for
 // programs meeting the paper's soundness criterion, the program result)
-// does not.
+// does not. Run is the single entrypoint for every execution axis —
+// schedule (WithVariant / WithSchedule), visit engine (WithEngine),
+// parallelism (WithWorkers), telemetry (WithRecorder), cancellation
+// (WithContext) — see run.go.
 package twist
 
 import (

@@ -19,11 +19,14 @@ func TestQuickStart(t *testing.T) {
 		Work:  func(o, i twist.NodeID) { visits++ },
 	}
 	exec := twist.MustNew(spec)
-	exec.Run(twist.Twisted())
+	res, err := twist.Run(exec, twist.WithVariant(twist.Twisted()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if visits != (1<<6)*(1<<6) {
 		t.Fatalf("twisted run visited %d pairs, want %d", visits, (1<<6)*(1<<6))
 	}
-	if exec.Stats.Twists == 0 {
+	if res.Stats.Twists == 0 {
 		t.Fatal("twisting never switched orientation")
 	}
 }
