@@ -7,12 +7,24 @@
 //
 //	twistd [-addr :7457] [-queue 64] [-workers N] [-cache 256]
 //	       [-job-timeout 60s] [-drain-timeout 30s] [-telemetry file.jsonl]
+//	       [-peers id=url,...] [-node id] [-advertise url] [-replicas 2]
+//	       [-vnodes 64] [-probe-interval 1s] [-forward-timeout 2s]
+//	       [-forward-retries 1] [-fleet-queue-bound 0]
 //
 // Endpoints:
 //
 //	POST /v1/run        POST /v1/misscurve
 //	POST /v1/transform  POST /v1/oracle
 //	GET  /healthz       GET  /readyz       GET  /metrics
+//	GET  /clusterz      GET  /metrics/fleet          (fleet mode only)
+//
+// Fleet mode (DESIGN.md §4.14) activates when -peers is non-empty: jobs
+// route by their canonical spec digest over a consistent-hash ring to an
+// owner node (forwarded at most one hop), every node admits forwarded
+// results into its own cache, unreachable peers are probed and routed
+// around (degrading to local-only serving under full partition), and
+// responses stay bit-identical to a single-node daemon and to direct
+// library calls wherever they are served from.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work (/readyz turns 503),
 // finishes every admitted job within -drain-timeout, and exits 0 on a clean
@@ -31,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"twist/internal/cluster"
 	"twist/internal/obs"
 	"twist/internal/serve"
 )
@@ -48,6 +61,15 @@ func run() int {
 	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "per-job execution deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	telemetry := fs.String("telemetry", "", "append telemetry events as JSON lines to this file")
+	peers := fs.String("peers", "", "fleet peers as comma-separated id=url pairs (non-empty enables fleet mode)")
+	nodeID := fs.String("node", "", "this node's fleet id (default: the listen address)")
+	advertise := fs.String("advertise", "", "this node's advertised base URL (default: http://127.0.0.1<addr>)")
+	replicas := fs.Int("replicas", 2, "ring replicas tried per digest before degrading to local serving")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the hash ring")
+	probeInterval := fs.Duration("probe-interval", time.Second, "peer health probe period")
+	forwardTimeout := fs.Duration("forward-timeout", 2*time.Second, "per-hop forward timeout")
+	forwardRetries := fs.Int("forward-retries", 1, "per-hop retries on transient forward failures")
+	fleetQueueBound := fs.Int64("fleet-queue-bound", 0, "shed with 429 when fleet-wide queue depth reaches this (0 disables)")
 	fs.Parse(os.Args[1:])
 
 	log.SetPrefix("twistd: ")
@@ -58,6 +80,37 @@ func run() int {
 		Workers:      *workers,
 		CacheEntries: *cache,
 		JobTimeout:   *jobTimeout,
+	}
+	if *peers != "" {
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Printf("%v", err)
+			return 1
+		}
+		self := cluster.Member{ID: *nodeID, URL: *advertise}
+		if self.ID == "" {
+			self.ID = *addr
+		}
+		if self.URL == "" {
+			host := *addr
+			if len(host) > 0 && host[0] == ':' {
+				host = "127.0.0.1" + host
+			}
+			self.URL = "http://" + host
+		}
+		cfg.Cluster = cluster.NewNode(cluster.Config{
+			Self:            self,
+			Peers:           members,
+			Version:         serve.EngineVersion,
+			VNodes:          *vnodes,
+			Replicas:        *replicas,
+			FleetQueueBound: *fleetQueueBound,
+			ProbeInterval:   *probeInterval,
+			ForwardTimeout:  *forwardTimeout,
+			ForwardRetries:  *forwardRetries,
+		})
+		log.Printf("fleet mode: node %s (%s), peers [%s], replicas %d, engine version %s",
+			self.ID, self.URL, cluster.FormatPeers(members), *replicas, serve.EngineVersion)
 	}
 	if *telemetry != "" {
 		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

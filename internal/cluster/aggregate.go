@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"twist/internal/obs"
+)
+
+// FetchPeerReport scrapes one peer's /metrics obs.Report through the
+// node's transport (per-hop timeout applies).
+func (n *Node) FetchPeerReport(ctx context.Context, peer Member) (*obs.Report, error) {
+	res, err := n.tr.Get(ctx, peer, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s /metrics answered %d", peer.ID, res.Status)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(res.Body, &rep); err != nil {
+		return nil, fmt.Errorf("cluster: peer %s /metrics: %w", peer.ID, err)
+	}
+	return &rep, nil
+}
+
+// FleetReport merges this node's local report with every live peer's
+// scraped /metrics into one "twistd-fleet" obs.Report: per-node rows
+// ("<id>/serve"), summed "fleet/serve" counters, and params recording the
+// membership, replication, version stamp, and which peers were reachable
+// during aggregation. Peers that fail to answer are skipped and listed in
+// the "down" param — aggregation itself degrades per peer, never errors.
+func (n *Node) FleetReport(ctx context.Context, local *obs.Report) *obs.Report {
+	sources := []obs.NamedReport{{Name: n.cfg.Self.ID, Report: local}}
+	var down []string
+	for _, ps := range n.mem.States() {
+		if !ps.Up {
+			down = append(down, ps.Member.ID)
+			continue
+		}
+		rep, err := n.FetchPeerReport(ctx, ps.Member)
+		if err != nil {
+			down = append(down, ps.Member.ID)
+			continue
+		}
+		sources = append(sources, obs.NamedReport{Name: ps.Member.ID, Report: rep})
+	}
+	params := map[string]string{
+		"node":     n.cfg.Self.ID,
+		"peers":    FormatPeers(n.mem.Peers()),
+		"replicas": strconv.Itoa(n.cfg.Replicas),
+		"version":  n.cfg.Version,
+		"nodes_up": strconv.Itoa(len(sources)),
+		"down":     joinIDs(down),
+	}
+	return obs.MergeReports("twistd-fleet", params, sources)
+}
+
+// joinIDs renders a comma-separated ID list ("" when empty).
+func joinIDs(ids []string) string {
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += id
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package clustertest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one injected transport fault for traffic addressed to a node.
+// Zero value means "no fault". Exactly one of the fields is normally set:
+// Drop fails the request at the transport layer (a dead or partitioned
+// peer), Delay holds it before delivery (a slow link), Status short-
+// circuits with a synthesized HTTP error of that code (a sick peer).
+type Rule struct {
+	Drop   bool
+	Delay  time.Duration
+	Status int
+}
+
+// Faults is the fault-injection table every inter-node HTTP client in a
+// Fleet routes through: rules are keyed by target node ID and applied in
+// the RoundTripper, so drops look like connection failures and synthesized
+// statuses look like real peer answers. Safe for concurrent use.
+type Faults struct {
+	mu     sync.Mutex
+	rules  map[string]Rule
+	addrID map[string]string // host:port -> node ID
+}
+
+// NewFaults returns an empty fault table.
+func NewFaults() *Faults {
+	return &Faults{rules: make(map[string]Rule), addrID: make(map[string]string)}
+}
+
+// register maps a listener address to its node ID so rules can be keyed by
+// the stable ID rather than the ephemeral port.
+func (f *Faults) register(addr, id string) {
+	f.mu.Lock()
+	f.addrID[addr] = id
+	f.mu.Unlock()
+}
+
+// Set installs the rule for traffic addressed to a node, replacing any
+// previous rule.
+func (f *Faults) Set(nodeID string, r Rule) {
+	f.mu.Lock()
+	f.rules[nodeID] = r
+	f.mu.Unlock()
+}
+
+// Clear removes the rule for a node.
+func (f *Faults) Clear(nodeID string) {
+	f.mu.Lock()
+	delete(f.rules, nodeID)
+	f.mu.Unlock()
+}
+
+// ClearAll removes every rule (heals the network).
+func (f *Faults) ClearAll() {
+	f.mu.Lock()
+	f.rules = make(map[string]Rule)
+	f.mu.Unlock()
+}
+
+// rule resolves the rule for a request host ("" ID when unknown).
+func (f *Faults) rule(host string) (string, Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id, ok := f.addrID[host]
+	if !ok {
+		return "", Rule{}
+	}
+	return id, f.rules[id]
+}
+
+// Client returns an *http.Client whose transport applies the fault table
+// before delegating to the default transport.
+func (f *Faults) Client() *http.Client {
+	return &http.Client{Transport: &faultTransport{faults: f, next: http.DefaultTransport}}
+}
+
+// faultTransport applies the fault table to each round trip.
+type faultTransport struct {
+	faults *Faults
+	next   http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	id, r := t.faults.rule(req.URL.Host)
+	if r.Drop {
+		return nil, fmt.Errorf("clustertest: injected drop to %s: %w", id, errors.New("connection refused"))
+	}
+	if r.Delay > 0 {
+		select {
+		case <-time.After(r.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if r.Status != 0 {
+		body := fmt.Sprintf(`{"error":"clustertest: injected %d from %s"}`, r.Status, id)
+		return &http.Response{
+			StatusCode: r.Status,
+			Status:     http.StatusText(r.Status),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	return t.next.RoundTrip(req)
+}

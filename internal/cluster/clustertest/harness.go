@@ -1,0 +1,296 @@
+// Package clustertest is the in-process fleet test harness behind every
+// twistd multi-node test (DESIGN.md §4.14): it boots N real serve.Servers
+// on httptest listeners wired to each other as consistent-hash peers, with
+// hooks to kill and restart a node and to inject transport faults (drop,
+// delay, synthesized 5xx) on the inter-node links. Everything runs in one
+// process and is race-clean under -race; fault transitions are explicit
+// method calls, so fleet tests assert on deterministic digests and bytes
+// rather than on timing.
+package clustertest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twist/internal/cluster"
+	"twist/internal/serve"
+)
+
+// Config parameterizes a Fleet. The zero value of every field has a
+// serving-grade test default.
+type Config struct {
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Replicas is the ring replication factor (default 2).
+	Replicas int
+	// VNodes is the per-member virtual-node count (default 16 — smaller
+	// than production's 64 to keep ring construction cheap in tests).
+	VNodes int
+	// Serve is the per-node server config template; its Cluster field is
+	// overwritten per node. The zero value gets Queue 64 / Workers 2.
+	Serve serve.Config
+	// ProbeInterval is the health-prober period (default 25ms, fast
+	// enough that recovery tests converge promptly).
+	ProbeInterval time.Duration
+	// FleetQueueBound enables fleet-wide shedding (0 disables).
+	FleetQueueBound int64
+	// Versions overrides the engine version stamp per node index, for
+	// version-skew tests; unlisted nodes use serve.EngineVersion.
+	Versions map[int]string
+	// ForwardTimeout/ForwardRetries/ForwardBackoff tune the hop transport
+	// (defaults 2s / 1 / 10ms).
+	ForwardTimeout time.Duration
+	ForwardRetries int
+	ForwardBackoff time.Duration
+}
+
+// Node is one fleet member: the real server, its cluster node, and the
+// kill switch.
+type Node struct {
+	ID      string
+	URL     string
+	Server  *serve.Server
+	Cluster *cluster.Node
+
+	ts     *httptest.Server
+	killed atomic.Bool
+}
+
+// Kill makes the node unreachable: every in-flight and future request on
+// its listener aborts at the connection level (clients observe EOF, as
+// with a dead process). The listener itself stays open, so Restart
+// revives the node at the same address with its caches intact.
+func (n *Node) Kill() { n.killed.Store(true) }
+
+// Restart revives a killed node.
+func (n *Node) Restart() { n.killed.Store(false) }
+
+// Killed reports whether the node is currently killed.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// ServeHTTP implements the node's listener handler: the kill gate in front
+// of the real server mux.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if n.killed.Load() {
+		panic(http.ErrAbortHandler) // aborts the connection without logging
+	}
+	n.Server.Handler().ServeHTTP(w, r)
+}
+
+// Fleet is a booted in-process twistd fleet.
+type Fleet struct {
+	Nodes  []*Node
+	Faults *Faults
+
+	replicas int
+}
+
+// Envelope mirrors the daemon's response envelope for test assertions.
+type Envelope struct {
+	Kind      string          `json:"kind"`
+	Digest    string          `json:"digest"`
+	Cached    bool            `json:"cached"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Result    json.RawMessage `json:"result"`
+	Node      string          `json:"node,omitempty"`
+	Via       string          `json:"via,omitempty"`
+}
+
+// Start boots a fleet per cfg and registers cleanup with t. Node IDs are
+// "n0".."n<N-1>"; every node knows every other as a static peer.
+func Start(t testing.TB, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 16
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 2 * time.Second
+	}
+	if cfg.ForwardBackoff <= 0 {
+		cfg.ForwardBackoff = 10 * time.Millisecond
+	}
+	if cfg.Serve.Queue == 0 {
+		cfg.Serve.Queue = 64
+	}
+	if cfg.Serve.Workers == 0 {
+		cfg.Serve.Workers = 2
+	}
+
+	f := &Fleet{Faults: NewFaults(), replicas: cfg.Replicas}
+	// Phase 1: allocate listeners so every node's URL is known before any
+	// server is constructed (static membership needs the full address set).
+	members := make([]cluster.Member, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: fmt.Sprintf("n%d", i)}
+		n.ts = httptest.NewUnstartedServer(n)
+		n.URL = "http://" + n.ts.Listener.Addr().String()
+		f.Faults.register(n.ts.Listener.Addr().String(), n.ID)
+		members[i] = cluster.Member{ID: n.ID, URL: n.URL}
+		f.Nodes = append(f.Nodes, n)
+	}
+	// Phase 2: build each node's cluster view and server, then open the
+	// listeners. Every inter-node client routes through the fault table.
+	for i, n := range f.Nodes {
+		version := serve.EngineVersion
+		if v, ok := cfg.Versions[i]; ok {
+			version = v
+		}
+		n.Cluster = cluster.NewNode(cluster.Config{
+			Self:            members[i],
+			Peers:           members,
+			Version:         version,
+			VNodes:          cfg.VNodes,
+			Replicas:        cfg.Replicas,
+			FleetQueueBound: cfg.FleetQueueBound,
+			ProbeInterval:   cfg.ProbeInterval,
+			FailThreshold:   1,
+			ForwardTimeout:  cfg.ForwardTimeout,
+			ForwardRetries:  cfg.ForwardRetries,
+			ForwardBackoff:  cfg.ForwardBackoff,
+			Client:          f.Faults.Client(),
+		})
+		scfg := cfg.Serve
+		scfg.Cluster = n.Cluster
+		n.Server = serve.New(scfg)
+		n.ts.Start()
+	}
+	t.Cleanup(f.Stop)
+	return f
+}
+
+// Stop shuts the fleet down: listeners first (so no new requests arrive),
+// then the servers (stopping probers and draining pools). Idempotent via
+// httptest/serve semantics.
+func (f *Fleet) Stop() {
+	for _, n := range f.Nodes {
+		n.Restart() // let in-flight aborts finish cleanly
+		n.ts.Close()
+	}
+	for _, n := range f.Nodes {
+		n.Server.Close()
+	}
+}
+
+// Converge runs one synchronous probe round on every non-killed node, so
+// membership reflects the current kill/fault state without waiting for
+// prober ticks — the deterministic alternative to sleeping.
+func (f *Fleet) Converge(ctx context.Context) {
+	for _, n := range f.Nodes {
+		if !n.Killed() {
+			n.Cluster.ProbeOnce(ctx)
+		}
+	}
+}
+
+// Post sends a job spec to node i and returns the HTTP status and raw
+// body. Transport errors (e.g. posting to a killed node) fail t.
+func (f *Fleet) Post(t testing.TB, i int, kind serve.Kind, spec any) (int, []byte) {
+	t.Helper()
+	status, body, err := f.PostE(i, kind, spec)
+	if err != nil {
+		t.Fatalf("post to %s: %v", f.Nodes[i].ID, err)
+	}
+	return status, body
+}
+
+// PostE is Post returning transport errors instead of failing the test.
+func (f *Fleet) PostE(i int, kind serve.Kind, spec any) (int, []byte, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(f.Nodes[i].URL+"/v1/"+string(kind), "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// PostEnvelope posts a spec to node i, requires HTTP 200, and decodes the
+// envelope.
+func (f *Fleet) PostEnvelope(t testing.TB, i int, kind serve.Kind, spec any) Envelope {
+	t.Helper()
+	status, body := f.Post(t, i, kind, spec)
+	if status != http.StatusOK {
+		t.Fatalf("post to %s: status %d: %s", f.Nodes[i].ID, status, body)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad envelope %s: %v", body, err)
+	}
+	return env
+}
+
+// Get fetches a GET endpoint (e.g. /metrics/fleet) on node i.
+func (f *Fleet) Get(t testing.TB, i int, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(f.Nodes[i].URL + path)
+	if err != nil {
+		t.Fatalf("get %s from %s: %v", path, f.Nodes[i].ID, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// OwnerIndex returns the index of the node owning a digest (per node 0's
+// ring — all rings agree by construction).
+func (f *Fleet) OwnerIndex(digest string) int {
+	owner := f.Nodes[0].Cluster.Ring().Owner(f.Nodes[0].Cluster.RouteKey(digest))
+	for i, n := range f.Nodes {
+		if n.ID == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReplicaIDs returns the digest's replica set (owner first) on the shared
+// ring, at the fleet's configured replication factor.
+func (f *Fleet) ReplicaIDs(digest string) []string {
+	return f.Nodes[0].Cluster.Ring().Replicas(f.Nodes[0].Cluster.RouteKey(digest), f.replicas)
+}
+
+// NonOwnerIndex returns the index of a node that neither owns digest nor
+// appears anywhere in its replica set — a pure forwarder. Returns -1 when
+// every node is a replica (fleet size <= replication factor).
+func (f *Fleet) NonOwnerIndex(digest string) int {
+	reps := f.ReplicaIDs(digest)
+	for i, n := range f.Nodes {
+		inReps := false
+		for _, id := range reps {
+			if id == n.ID {
+				inReps = true
+			}
+		}
+		if !inReps {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Member is one fleet node: a stable ID (the ring placement key) and the
+// base URL its HTTP surface answers on.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// ParsePeers parses the -peers flag form: comma-separated id=url pairs,
+// e.g. "7461=http://127.0.0.1:7461,7462=http://127.0.0.1:7462". IDs must be
+// unique and non-empty; URLs must be non-empty.
+func ParsePeers(s string) ([]Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		out = append(out, Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	return out, nil
+}
+
+// FormatPeers renders members in ParsePeers form, sorted by ID.
+func FormatPeers(members []Member) string {
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = m.ID + "=" + m.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+// NodeStatus is the health/load snapshot one node publishes on /clusterz
+// and the prober collects from peers. QueueDepth feeds the fleet-wide
+// admission bound; Version is the engine/schema stamp that gates the
+// replicated cache tier.
+type NodeStatus struct {
+	ID         string `json:"id"`
+	Version    string `json:"version"`
+	QueueDepth int64  `json:"queue_depth"`
+	InFlight   int    `json:"in_flight"`
+	Draining   bool   `json:"draining"`
+}
+
+// PeerState is one peer's membership entry as the router sees it: identity,
+// liveness, and the last status the prober (or a passive observation)
+// recorded.
+type PeerState struct {
+	Member Member
+	Up     bool
+	Status NodeStatus
+}
+
+// Membership is the static member set plus mutable per-peer health. Peers
+// start up (optimistic: a booting fleet routes normally and discovers dead
+// peers on first contact); MarkDown/Observe flip them as probes and forward
+// attempts report. Safe for concurrent use.
+type Membership struct {
+	self  Member
+	peers []Member // excludes self, sorted by ID
+
+	mu    sync.RWMutex
+	down  map[string]bool
+	fails map[string]int
+	last  map[string]NodeStatus
+	// failThreshold is how many consecutive probe failures mark a peer
+	// down; passive failures (a failed forward) mark down immediately.
+	failThreshold int
+}
+
+// NewMembership builds the member set for self among peers. Self is
+// filtered out of the peer list by ID; the threshold (<= 0 means 1) is the
+// consecutive-probe-failure count that marks a peer down.
+func NewMembership(self Member, peers []Member, failThreshold int) *Membership {
+	if failThreshold <= 0 {
+		failThreshold = 1
+	}
+	m := &Membership{
+		self:          self,
+		down:          make(map[string]bool),
+		fails:         make(map[string]int),
+		last:          make(map[string]NodeStatus),
+		failThreshold: failThreshold,
+	}
+	for _, p := range peers {
+		if p.ID != self.ID {
+			m.peers = append(m.peers, p)
+		}
+	}
+	sort.Slice(m.peers, func(i, j int) bool { return m.peers[i].ID < m.peers[j].ID })
+	return m
+}
+
+// Self returns this node's own member entry.
+func (m *Membership) Self() Member { return m.self }
+
+// Peers returns the static peer set (excluding self), sorted by ID.
+func (m *Membership) Peers() []Member { return append([]Member(nil), m.peers...) }
+
+// AllIDs returns every member ID including self — the ring's node set.
+func (m *Membership) AllIDs() []string {
+	ids := []string{m.self.ID}
+	for _, p := range m.peers {
+		ids = append(ids, p.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup resolves a member ID (self included) to its entry.
+func (m *Membership) Lookup(id string) (Member, bool) {
+	if id == m.self.ID {
+		return m.self, true
+	}
+	for _, p := range m.peers {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Member{}, false
+}
+
+// IsDown reports whether a peer is currently marked down. Self is never
+// down from its own point of view.
+func (m *Membership) IsDown(id string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.down[id]
+}
+
+// MarkDown records a definite failure (a failed forward or a probe past the
+// threshold): the peer is routed around until a probe succeeds again.
+func (m *Membership) MarkDown(id string) {
+	m.mu.Lock()
+	m.down[id] = true
+	m.fails[id] = m.failThreshold
+	m.mu.Unlock()
+}
+
+// ProbeFailed records one failed probe; the peer goes down once
+// failThreshold consecutive probes fail.
+func (m *Membership) ProbeFailed(id string) {
+	m.mu.Lock()
+	m.fails[id]++
+	if m.fails[id] >= m.failThreshold {
+		m.down[id] = true
+	}
+	m.mu.Unlock()
+}
+
+// Observe records a successful status fetch from a peer: the peer is up and
+// its load snapshot replaces the previous one.
+func (m *Membership) Observe(id string, st NodeStatus) {
+	m.mu.Lock()
+	m.down[id] = false
+	m.fails[id] = 0
+	m.last[id] = st
+	m.mu.Unlock()
+}
+
+// States snapshots every peer's liveness and last observed status, sorted
+// by ID.
+func (m *Membership) States() []PeerState {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]PeerState, 0, len(m.peers))
+	for _, p := range m.peers {
+		out = append(out, PeerState{Member: p, Up: !m.down[p.ID], Status: m.last[p.ID]})
+	}
+	return out
+}
+
+// PeerQueueDepth sums the last observed queue depth of every live peer —
+// the remote half of the fleet-wide admission bound. Down peers contribute
+// nothing (their queues are unreachable anyway).
+func (m *Membership) PeerQueueDepth() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var sum int64
+	for _, p := range m.peers {
+		if !m.down[p.ID] {
+			sum += m.last[p.ID].QueueDepth
+		}
+	}
+	return sum
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one fleet node. Self and Peers are the static
+// membership (-peers flag); everything else has serving-grade defaults.
+type Config struct {
+	// Self is this node's identity and advertised URL.
+	Self Member
+	// Peers are the other fleet members (entries matching Self.ID are
+	// ignored, so the full fleet list can be passed to every node).
+	Peers []Member
+	// Version is the engine/schema stamp: it prefixes every routing key and
+	// gates every hop, so a version bump invalidates the replicated cache
+	// tier fleet-wide (old bytes are simply never admitted or hit again).
+	Version string
+	// VNodes is the virtual-node count per member (<= 0: DefaultVNodes).
+	VNodes int
+	// Replicas is how many ring successors (owner first) may serve a
+	// digest; the router tries them in order before degrading to local
+	// serving. <= 0 means 2.
+	Replicas int
+	// FleetQueueBound sheds new external work with 429 once the fleet-wide
+	// admission queue depth (local + last observed live peers) reaches it.
+	// 0 disables fleet-level shedding (local backpressure still applies).
+	FleetQueueBound int64
+	// ProbeInterval is the health-prober period (<= 0: 1s).
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive probe failures marking a peer down
+	// (<= 0: 1). Failed forwards mark down immediately regardless.
+	FailThreshold int
+	// ForwardTimeout, ForwardRetries, ForwardBackoff tune the per-hop
+	// transport (see TransportConfig).
+	ForwardTimeout time.Duration
+	ForwardRetries int
+	ForwardBackoff time.Duration
+	// Client overrides the HTTP client every hop and probe uses; tests
+	// inject fault-wrapping clients here.
+	Client *http.Client
+}
+
+// Node bundles the ring, membership, and transport of one fleet member —
+// the object internal/serve consults on every request in fleet mode. All
+// methods are safe for concurrent use.
+type Node struct {
+	cfg  Config
+	ring *Ring
+	mem  *Membership
+	tr   *Transport
+
+	proberMu   sync.Mutex
+	proberStop chan struct{}
+	proberDone chan struct{}
+}
+
+// NewNode builds a fleet node from cfg.
+func NewNode(cfg Config) *Node {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	mem := NewMembership(cfg.Self, cfg.Peers, cfg.FailThreshold)
+	return &Node{
+		cfg:  cfg,
+		ring: NewRing(cfg.VNodes, mem.AllIDs()...),
+		mem:  mem,
+		tr: NewTransport(TransportConfig{
+			Client:  cfg.Client,
+			SelfID:  cfg.Self.ID,
+			Version: cfg.Version,
+			Timeout: cfg.ForwardTimeout,
+			Retries: cfg.ForwardRetries,
+			Backoff: cfg.ForwardBackoff,
+		}),
+	}
+}
+
+// Self returns this node's member entry.
+func (n *Node) Self() Member { return n.cfg.Self }
+
+// Version returns the engine/schema stamp hops are gated on.
+func (n *Node) Version() string { return n.cfg.Version }
+
+// Membership returns the node's member/health table.
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Ring returns the node's (immutable) hash ring over the full static
+// membership; health filtering happens in Route.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// RouteKey stamps a spec digest with the engine/schema version: the string
+// the ring hashes and the replicated tier is effectively keyed on. Two
+// nodes on different versions compute different placements and, more
+// importantly, refuse each other's hops — so a version bump is a
+// fleet-wide cache invalidation without any coordination.
+func (n *Node) RouteKey(digest string) string { return n.cfg.Version + ":" + digest }
+
+// Route returns the members that may serve digest, in preference order:
+// the ring's replica set (owner first) filtered to live members. An empty
+// result means every replica is unreachable — the caller degrades to
+// local-only serving.
+func (n *Node) Route(digest string) []Member {
+	ids := n.ring.Replicas(n.RouteKey(digest), n.cfg.Replicas)
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		if id != n.cfg.Self.ID && n.mem.IsDown(id) {
+			continue
+		}
+		if m, ok := n.mem.Lookup(id); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Forward sends a job to a peer through the transport; a transport-level
+// failure passively marks the peer down (the prober brings it back).
+func (n *Node) Forward(ctx context.Context, peer Member, kind string, body []byte) (*ForwardResult, error) {
+	res, err := n.tr.Forward(ctx, peer, kind, body)
+	if err != nil {
+		n.mem.MarkDown(peer.ID)
+		return nil, err
+	}
+	return res, nil
+}
+
+// FleetQueueDepth is the fleet-wide admission pressure: the local queue
+// depth plus the last observed depth of every live peer.
+func (n *Node) FleetQueueDepth(localDepth int64) int64 {
+	return localDepth + n.mem.PeerQueueDepth()
+}
+
+// ShouldShed reports whether a new external request must be shed with 429:
+// a fleet queue bound is configured and the fleet-wide depth has reached
+// it. Forwarded requests are never shed here — their entry node already
+// charged them against the bound.
+func (n *Node) ShouldShed(localDepth int64) bool {
+	return n.cfg.FleetQueueBound > 0 && n.FleetQueueDepth(localDepth) >= n.cfg.FleetQueueBound
+}
+
+// StartProber begins the background health loop: every ProbeInterval it
+// fetches each peer's /clusterz, observing status (up + queue depth) on
+// success and counting failures toward down on error. Idempotent; stop
+// with StopProber.
+func (n *Node) StartProber() {
+	n.proberMu.Lock()
+	defer n.proberMu.Unlock()
+	if n.proberStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	n.proberStop, n.proberDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(n.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				n.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// StopProber stops the health loop and waits for it to exit. Idempotent.
+func (n *Node) StopProber() {
+	n.proberMu.Lock()
+	stop, done := n.proberStop, n.proberDone
+	n.proberStop, n.proberDone = nil, nil
+	n.proberMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// ProbeOnce probes every peer once, synchronously — the prober's body,
+// exported so tests (and recovering routers) can force a deterministic
+// membership refresh instead of sleeping through a tick.
+func (n *Node) ProbeOnce(ctx context.Context) {
+	for _, p := range n.mem.Peers() {
+		res, err := n.tr.Get(ctx, p, "/clusterz")
+		if err != nil || res.Status != http.StatusOK {
+			n.mem.ProbeFailed(p.ID)
+			continue
+		}
+		var st NodeStatus
+		if err := json.Unmarshal(res.Body, &st); err != nil || (st.Version != "" && st.Version != n.cfg.Version) {
+			// Unparseable or version-skewed peers are routed around: their
+			// cached bytes must not serve this node's requests.
+			n.mem.ProbeFailed(p.ID)
+			continue
+		}
+		n.mem.Observe(p.ID, st)
+	}
+}

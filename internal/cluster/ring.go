@@ -1,0 +1,153 @@
+// Package cluster is the multi-node serving substrate behind twistd's fleet
+// mode (DESIGN.md §4.14): a consistent-hash ring that routes jobs by their
+// canonical spec digest to an owner node, static membership with a health
+// prober that routes around dead peers, an HTTP peer-forwarding transport
+// with per-hop timeout/retry/backoff and a forwarding-loop guard, and
+// fleet-level metrics aggregation over per-node obs.Reports.
+//
+// The design exploits the same structure the paper exploits for caches, one
+// level up: every twistd response is a deterministic, content-addressed
+// function of its spec digest (bit-identical to a direct library call), so
+// identical requests from any client can be landed on the same owner node,
+// where they coalesce into one execution and hit one cache — and any node's
+// cached bytes are valid bytes for every other node on the same engine
+// version. Hashing is SHA-256 end to end; nothing in the routing path
+// depends on Go map iteration order or per-process hash seeds, so two
+// processes given the same membership route every key identically.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member when RingConfig leaves
+// it zero: enough points that load and key movement stay within a few
+// percent of the K/N ideal for small fleets.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over member IDs. Each member contributes
+// vnodes points placed by SHA-256, so joins and leaves move only ~K/N of
+// the key space. The zero value is unusable; construct with NewRing. Ring
+// itself is not concurrency-safe — Membership guards the mutable copy, and
+// everything else treats rings as immutable values.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by (hash, node)
+	nodes  []string    // sorted member IDs
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given member IDs with vnodes virtual
+// points per member (<= 0 means DefaultVNodes). Duplicate IDs collapse to
+// one membership; insertion order is irrelevant to routing.
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			r.nodes = append(r.nodes, m)
+		}
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// With returns a new ring with the member added (a no-op copy if already
+// present). The receiver is unchanged.
+func (r *Ring) With(member string) *Ring {
+	return NewRing(r.vnodes, append(append([]string{}, r.nodes...), member)...)
+}
+
+// Without returns a new ring with the member removed (a no-op copy if
+// absent). The receiver is unchanged.
+func (r *Ring) Without(member string) *Ring {
+	keep := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != member {
+			keep = append(keep, n)
+		}
+	}
+	return NewRing(r.vnodes, keep...)
+}
+
+// Nodes returns the sorted member IDs.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the member owning key: the first ring point at or after the
+// key's hash, wrapping at the top. Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Replicas returns up to n distinct members for key in ring order starting
+// at the owner. Successive entries are the fallback owners a router tries
+// when earlier ones are down; Replicas(key, Len()) enumerates every member.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// pointHash places one virtual node: the first 8 bytes of
+// SHA-256("node\x00vnode") as a big-endian uint64. SHA-256 keeps placement
+// identical across processes, architectures, and Go versions.
+func pointHash(node string, vnode int) uint64 {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(vnode))
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write(idx[:])
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// keyHash places a routing key on the ring. Keys are version-stamped spec
+// digests (Node.RouteKey), but any string routes deterministically.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// ringNodes builds n member IDs "n0".."n<n-1>".
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("n%d", i)
+	}
+	return out
+}
+
+// ringKeys builds k distinct routing keys shaped like version-stamped
+// digests.
+func ringKeys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("1:digest-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossInsertionOrder is the no-map-order-leak
+// property: rings built from any permutation of the same member set route
+// every key identically. Consistent hashing here is pure SHA-256 over
+// member IDs, so this equality is also cross-process equality.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	t.Parallel()
+	nodes := ringNodes(7)
+	keys := ringKeys(500)
+	base := NewRing(32, nodes...)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(32, shuffled...)
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d key %q: owner %q, want %q", trial, k, got, want)
+			}
+			if got, want := r.Replicas(k, 3), base.Replicas(k, 3); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d key %q: replicas %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingPinnedRouting pins a handful of routings computed by the SHA-256
+// placement. These constants are the cross-process determinism contract
+// made explicit: if they ever change, every deployed fleet would disagree
+// about ownership during a rolling restart.
+func TestRingPinnedRouting(t *testing.T) {
+	t.Parallel()
+	r := NewRing(64, "n0", "n1", "n2")
+	pinned := map[string]string{
+		"1:k0": "n2",
+		"1:k1": "n2",
+		"1:k2": "n1",
+		"1:k3": "n0",
+		"1:k4": "n2",
+	}
+	for k, want := range pinned {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want pinned %q", k, got, want)
+		}
+	}
+}
+
+// TestRingMovementBounded is the ~K/N property: adding one member to an
+// N-member ring reassigns roughly K/(N+1) of K keys, and removing it
+// restores the original assignment exactly.
+func TestRingMovementBounded(t *testing.T) {
+	t.Parallel()
+	const n, k = 10, 2000
+	r := NewRing(64, ringNodes(n)...)
+	keys := ringKeys(k)
+	before := make(map[string]string, k)
+	for _, key := range keys {
+		before[key] = r.Owner(key)
+	}
+
+	grown := r.With("extra")
+	moved := 0
+	for _, key := range keys {
+		owner := grown.Owner(key)
+		if owner != before[key] {
+			if owner != "extra" {
+				t.Fatalf("key %q moved to %q, not the joining member", key, owner)
+			}
+			moved++
+		}
+	}
+	ideal := k / (n + 1)
+	if moved == 0 || moved > ideal*5/2 {
+		t.Errorf("join moved %d of %d keys; want within (0, %d] (~K/N = %d)", moved, k, ideal*5/2, ideal)
+	}
+
+	shrunk := grown.Without("extra")
+	for _, key := range keys {
+		if got := shrunk.Owner(key); got != before[key] {
+			t.Errorf("key %q: owner %q after leave, want original %q", key, got, before[key])
+		}
+	}
+}
+
+// TestRingReplicas checks the replica-set contract: distinct members,
+// owner first, clamped to the member count, and every member enumerable.
+func TestRingReplicas(t *testing.T) {
+	t.Parallel()
+	r := NewRing(16, ringNodes(5)...)
+	for _, key := range ringKeys(200) {
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(reps))
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("key %q: replicas[0] %q != owner %q", key, reps[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, id := range reps {
+			if seen[id] {
+				t.Fatalf("key %q: duplicate replica %q in %v", key, id, reps)
+			}
+			seen[id] = true
+		}
+		if all := r.Replicas(key, 99); len(all) != 5 {
+			t.Fatalf("key %q: Replicas(99) returned %d members, want all 5", key, len(all))
+		}
+	}
+	if got := NewRing(16).Owner("k"); got != "" {
+		t.Errorf("empty ring owner %q, want \"\"", got)
+	}
+	if reps := r.Replicas("k", 0); reps != nil {
+		t.Errorf("Replicas(k, 0) = %v, want nil", reps)
+	}
+}
+
+// TestRingWithWithoutIdempotent checks the duplicate/absent edge cases.
+func TestRingWithWithoutIdempotent(t *testing.T) {
+	t.Parallel()
+	r := NewRing(16, "a", "b")
+	if got := r.With("a").Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("With(dup) nodes %v", got)
+	}
+	if got := r.Without("zzz").Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Without(absent) nodes %v", got)
+	}
+	if got := r.Len(); got != 2 {
+		t.Errorf("Len %d", got)
+	}
+}
+
+// FuzzRing fuzzes the routing invariants over arbitrary member counts,
+// replication factors, and keys: owners are members, replica sets are
+// distinct with the owner first, routing is identical across insertion
+// orders, and a join+leave round trip restores the original owner.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(3), uint8(2), "1:abc")
+	f.Add(uint8(1), uint8(1), "")
+	f.Add(uint8(16), uint8(8), "1:57b33fe9646800d535ba5c36a28569e566913346f662b15e837a4198683847f0")
+	f.Fuzz(func(t *testing.T, n uint8, reps uint8, key string) {
+		count := int(n%16) + 1
+		nodes := ringNodes(count)
+		r := NewRing(8, nodes...)
+		owner := r.Owner(key)
+		found := false
+		for _, m := range nodes {
+			if m == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not a member of %v", owner, nodes)
+		}
+		rs := r.Replicas(key, int(reps))
+		seen := map[string]bool{}
+		for _, id := range rs {
+			if seen[id] {
+				t.Fatalf("duplicate replica %q in %v", id, rs)
+			}
+			seen[id] = true
+		}
+		if len(rs) > 0 && rs[0] != owner {
+			t.Fatalf("replicas[0] %q != owner %q", rs[0], owner)
+		}
+		reversed := make([]string, count)
+		for i, m := range nodes {
+			reversed[count-1-i] = m
+		}
+		if got := NewRing(8, reversed...).Owner(key); got != owner {
+			t.Fatalf("insertion order changed owner: %q vs %q", got, owner)
+		}
+		if got := r.With("joiner").Without("joiner").Owner(key); got != owner {
+			t.Fatalf("join+leave changed owner: %q vs %q", got, owner)
+		}
+	})
+}

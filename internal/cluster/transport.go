@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Forwarding headers. HeaderForwarded is the loop guard: a node receiving a
+// request bearing it must serve locally, never re-forward — so a request
+// crosses at most one hop regardless of ring disagreement between nodes.
+// HeaderVersion stamps both the forward and the response with the sender's
+// engine/schema version; a mismatch on either side rejects the hop, which
+// is what invalidates the replicated cache tier across version bumps (a
+// node never admits bytes produced by a different engine version).
+// HeaderNode names the responding node, for diagnostics and the smoke test.
+const (
+	HeaderForwarded = "X-Twistd-Forwarded-By"
+	HeaderVersion   = "X-Twistd-Engine-Version"
+	HeaderNode      = "X-Twistd-Node"
+)
+
+// ErrVersionSkew reports that a peer answered with a different
+// engine/schema version stamp; its bytes must not enter the local cache.
+var ErrVersionSkew = errors.New("cluster: peer engine version differs")
+
+// maxForwardResponseBytes bounds a forwarded response body read. Job
+// results are JSON in the low-megabyte range; 32 MiB leaves ample room.
+const maxForwardResponseBytes = 32 << 20
+
+// Transport forwards job requests to peers with per-hop timeout, bounded
+// retry with backoff, and the loop-guard/version headers. One Transport is
+// shared by a node's router, prober, and metrics aggregator; the underlying
+// http.Client is injectable so tests can interpose fault rules.
+type Transport struct {
+	client  *http.Client
+	self    string // this node's ID, sent as the loop guard
+	version string // engine/schema stamp, sent and checked on every hop
+	timeout time.Duration
+	retries int // attempts per hop beyond the first
+	backoff time.Duration
+}
+
+// TransportConfig parameterizes a Transport; zero fields get defaults
+// (2s per-hop timeout, 1 retry, 50ms backoff, http.DefaultClient).
+type TransportConfig struct {
+	Client  *http.Client
+	SelfID  string
+	Version string
+	Timeout time.Duration
+	Retries int
+	Backoff time.Duration
+}
+
+// NewTransport builds a Transport from cfg.
+func NewTransport(cfg TransportConfig) *Transport {
+	t := &Transport{
+		client:  cfg.Client,
+		self:    cfg.SelfID,
+		version: cfg.Version,
+		timeout: cfg.Timeout,
+		retries: cfg.Retries,
+		backoff: cfg.Backoff,
+	}
+	if t.client == nil {
+		t.client = http.DefaultClient
+	}
+	if t.timeout <= 0 {
+		t.timeout = 2 * time.Second
+	}
+	if t.retries < 0 {
+		t.retries = 1
+	}
+	if t.backoff <= 0 {
+		t.backoff = 50 * time.Millisecond
+	}
+	return t
+}
+
+// ForwardResult is one completed hop: the peer's HTTP status and raw
+// response body. Status 200 carries a full response envelope; non-200
+// bodies are the peer's JSON error.
+type ForwardResult struct {
+	Status int
+	Body   []byte
+}
+
+// retryableStatus reports whether a hop outcome is worth retrying on the
+// same peer: transient server-side failures only. 4xx statuses are
+// deterministic verdicts about the request (or, for 409/429, about the
+// peer) and repeat identically.
+func retryableStatus(status int) bool { return status >= 500 }
+
+// Forward POSTs a job body to peer's kind endpoint, retrying transient
+// failures (transport errors and 5xx) with backoff. It returns the last
+// response for non-retryable statuses, and an error when every attempt
+// failed at the transport layer or the peer answered with a different
+// engine version (ErrVersionSkew).
+func (t *Transport) Forward(ctx context.Context, peer Member, kind string, body []byte) (*ForwardResult, error) {
+	url := peer.URL + "/v1/" + kind
+	var lastErr error
+	for attempt := 0; attempt <= t.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(t.backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := t.post(ctx, url, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryableStatus(res.Status) {
+			lastErr = fmt.Errorf("cluster: peer %s answered %d", peer.ID, res.Status)
+			continue
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("cluster: forward to %s failed: %w", peer.ID, lastErr)
+}
+
+// post performs one hop under the per-hop timeout and verifies the response
+// version stamp.
+func (t *Transport) post(ctx context.Context, url string, body []byte) (*ForwardResult, error) {
+	hopCtx, cancel := context.WithTimeout(ctx, t.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hopCtx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, t.self)
+	req.Header.Set(HeaderVersion, t.version)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if v := resp.Header.Get(HeaderVersion); v != "" && v != t.version {
+		return nil, fmt.Errorf("%w: ours %q, peer sent %q", ErrVersionSkew, t.version, v)
+	}
+	return &ForwardResult{Status: resp.StatusCode, Body: out}, nil
+}
+
+// Get fetches a peer's GET endpoint (the /clusterz probe and /metrics
+// aggregation path) under the per-hop timeout, without retry — probes are
+// periodic, so the next tick is the retry.
+func (t *Transport) Get(ctx context.Context, peer Member, path string) (*ForwardResult, error) {
+	hopCtx, cancel := context.WithTimeout(ctx, t.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hopCtx, http.MethodGet, peer.URL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderVersion, t.version)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &ForwardResult{Status: resp.StatusCode, Body: out}, nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+)
+
+// NamedReport pairs a report with the source (fleet node) that produced it,
+// for MergeReports.
+type NamedReport struct {
+	Name   string
+	Report *Report
+}
+
+// MergeReports combines per-source reports into one aggregate report — the
+// shape behind twistd's fleet-level /metrics/fleet endpoint (DESIGN.md
+// §4.14). The result keeps both views:
+//
+//   - per-source rows: every source row reappears as "<source>/<row>", so
+//     per-node signals stay inspectable;
+//   - merged rows: for each distinct row name, a "fleet/<row>" row whose
+//     deterministic signals are the column-wise sum where every present
+//     value parses as an integer (counters), the common value where all
+//     sources agree (echoes), and are dropped otherwise (a disagreeing
+//     non-counter has no meaningful merge). Noisy signals merge as the
+//     mean over the sources that report them; ratios that must be computed
+//     from summed counters (hit ratios) are the caller's job.
+//
+// Telemetry maps sum key-wise. Sources merge in the given order, so the
+// caller controls row ordering (conventionally self first, peers sorted).
+func MergeReports(experiment string, params map[string]string, sources []NamedReport) *Report {
+	out := NewReport(experiment, params)
+	type agg struct {
+		name  string
+		det   map[string][]string
+		noisy map[string][]float64
+	}
+	var order []string
+	merged := make(map[string]*agg)
+	for _, src := range sources {
+		if src.Report == nil {
+			continue
+		}
+		for _, row := range src.Report.Rows {
+			nr := out.AddRow(src.Name + "/" + row.Name)
+			a := merged[row.Name]
+			if a == nil {
+				a = &agg{name: row.Name, det: map[string][]string{}, noisy: map[string][]float64{}}
+				merged[row.Name] = a
+				order = append(order, row.Name)
+			}
+			for _, k := range sortedKeys(row.Det) {
+				nr.DetString(k, row.Det[k])
+				a.det[k] = append(a.det[k], row.Det[k])
+			}
+			for _, k := range sortedKeys(floatKeys(row.Noisy)) {
+				nr.NoisyVal(k, row.Noisy[k])
+				a.noisy[k] = append(a.noisy[k], row.Noisy[k])
+			}
+		}
+		for k, v := range src.Report.Telemetry {
+			if out.Telemetry == nil {
+				out.Telemetry = make(map[string]int64)
+			}
+			out.Telemetry[k] += v
+		}
+	}
+	for _, name := range order {
+		a := merged[name]
+		row := out.AddRow("fleet/" + name)
+		for _, k := range sortedKeys(stringSliceKeys(a.det)) {
+			if sum, ok := sumInts(a.det[k]); ok {
+				row.DetInt(k, sum)
+			} else if v, ok := allEqual(a.det[k]); ok {
+				row.DetString(k, v)
+			}
+		}
+		noisyKeys := make([]string, 0, len(a.noisy))
+		for k := range a.noisy {
+			noisyKeys = append(noisyKeys, k)
+		}
+		sort.Strings(noisyKeys)
+		for _, k := range noisyKeys {
+			var sum float64
+			for _, v := range a.noisy[k] {
+				sum += v
+			}
+			row.NoisyVal(k, sum/float64(len(a.noisy[k])))
+		}
+	}
+	return out
+}
+
+// sumInts sums values when every one parses as int64.
+func sumInts(vals []string) (int64, bool) {
+	var sum int64
+	for _, v := range vals {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		sum += n
+	}
+	return sum, true
+}
+
+// allEqual returns the common value when every entry matches.
+func allEqual(vals []string) (string, bool) {
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			return "", false
+		}
+	}
+	return vals[0], true
+}
+
+func stringSliceKeys(m map[string][]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k := range m {
+		out[k] = ""
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// mergeSources builds two small node reports shaped like twistd /metrics.
+func mergeSources() []NamedReport {
+	a := NewReport("twistd", map[string]string{"node": "n0"})
+	ra := a.AddRow("serve")
+	ra.DetInt("serve.cache.hit", 3)
+	ra.DetInt("serve.jobs.total", 5)
+	ra.DetString("flag_mode", "counter")
+	ra.DetString("geometry", "A")
+	ra.NoisyVal("serve.queue.depth", 2)
+	a.Telemetry = map[string]int64{"serve.cache.hit": 3}
+
+	b := NewReport("twistd", map[string]string{"node": "n1"})
+	rb := b.AddRow("serve")
+	rb.DetInt("serve.cache.hit", 1)
+	rb.DetInt("serve.jobs.total", 2)
+	rb.DetString("flag_mode", "counter")
+	rb.DetString("geometry", "B")
+	rb.NoisyVal("serve.queue.depth", 4)
+	b.Telemetry = map[string]int64{"serve.cache.hit": 1, "serve.rejected": 7}
+
+	return []NamedReport{{Name: "n0", Report: a}, {Name: "n1", Report: b}}
+}
+
+func TestMergeReports(t *testing.T) {
+	t.Parallel()
+	out := MergeReports("twistd-fleet", map[string]string{"nodes_up": "2"}, mergeSources())
+	if out.Experiment != "twistd-fleet" || out.Params["nodes_up"] != "2" {
+		t.Fatalf("experiment %q params %v", out.Experiment, out.Params)
+	}
+
+	rows := map[string]Row{}
+	for _, r := range out.Rows {
+		rows[r.Name] = r
+	}
+	// Per-source rows preserve each node's view verbatim.
+	for name, hit := range map[string]string{"n0/serve": "3", "n1/serve": "1"} {
+		row, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing per-source row %q", name)
+		}
+		if row.Det["serve.cache.hit"] != hit {
+			t.Errorf("%s serve.cache.hit = %q, want %q", name, row.Det["serve.cache.hit"], hit)
+		}
+	}
+
+	fleet, ok := rows["fleet/serve"]
+	if !ok {
+		t.Fatal("missing merged fleet/serve row")
+	}
+	// Integer counters sum.
+	if got := fleet.Det["serve.cache.hit"]; got != "4" {
+		t.Errorf("merged serve.cache.hit = %q, want 4", got)
+	}
+	if got := fleet.Det["serve.jobs.total"]; got != "7" {
+		t.Errorf("merged serve.jobs.total = %q, want 7", got)
+	}
+	// Agreeing non-counters pass through; disagreeing ones are dropped.
+	if got := fleet.Det["flag_mode"]; got != "counter" {
+		t.Errorf("merged flag_mode = %q, want counter", got)
+	}
+	if got, ok := fleet.Det["geometry"]; ok {
+		t.Errorf("disagreeing geometry merged to %q, want dropped", got)
+	}
+	// Noisy signals mean.
+	if got := fleet.Noisy["serve.queue.depth"]; math.Abs(got-3) > 1e-12 {
+		t.Errorf("merged serve.queue.depth = %v, want 3", got)
+	}
+	// Telemetry sums key-wise across sources.
+	if out.Telemetry["serve.cache.hit"] != 4 || out.Telemetry["serve.rejected"] != 7 {
+		t.Errorf("merged telemetry %v", out.Telemetry)
+	}
+}
+
+// TestMergeReportsDegenerate covers nil reports and a single source: a
+// fleet of one still produces both views.
+func TestMergeReportsDegenerate(t *testing.T) {
+	t.Parallel()
+	src := mergeSources()[:1]
+	src = append(src, NamedReport{Name: "ghost", Report: nil})
+	out := MergeReports("twistd-fleet", nil, src)
+	rows := map[string]Row{}
+	for _, r := range out.Rows {
+		rows[r.Name] = r
+	}
+	if _, ok := rows["n0/serve"]; !ok {
+		t.Error("missing n0/serve with a single live source")
+	}
+	fleet, ok := rows["fleet/serve"]
+	if !ok {
+		t.Fatal("missing fleet/serve with a single live source")
+	}
+	if fleet.Det["serve.cache.hit"] != "3" {
+		t.Errorf("single-source merged hit = %q, want 3", fleet.Det["serve.cache.hit"])
+	}
+	if len(rows) != 2 {
+		t.Errorf("%d rows, want 2 (per-source + merged)", len(rows))
+	}
+}

@@ -73,6 +73,17 @@ func (c *resultCache) Put(digest string, body []byte) {
 	}
 }
 
+// Contains reports whether a digest is resident, without promoting the
+// entry or touching the hit/miss counters — the fleet router's peek: a
+// resident digest is served locally (the replica-cache read path) instead
+// of being forwarded.
+func (c *resultCache) Contains(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[digest]
+	return ok
+}
+
 // Len reports the current entry count.
 func (c *resultCache) Len() int {
 	c.mu.Lock()

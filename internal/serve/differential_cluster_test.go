@@ -1,0 +1,199 @@
+package serve_test
+
+// The fleet differential suite extends the bit-identical-response contract
+// (differential_test.go) across the wire topology: for every job kind and a
+// sample of workloads × schedules, the result bytes must be identical
+// whether the job is answered by a 3-node fleet entered at a non-owner
+// node, by a single-node twistd, or by the direct library call. This file
+// lives in package serve_test because it imports the clustertest harness,
+// which itself imports serve.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"twist/internal/cluster/clustertest"
+	"twist/internal/serve"
+)
+
+// diffClusterCase is one kind × spec sample; direct runs the equivalent
+// library call on a normalized copy of the spec.
+type diffClusterCase struct {
+	name   string
+	kind   serve.Kind
+	spec   any
+	direct func(t *testing.T) []byte
+}
+
+func marshalResult(t *testing.T, out any, err error) []byte {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("direct library call: %v", err)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// diffClusterCases samples every job kind across workloads and schedule
+// forms (legacy variants and algebra expressions).
+func diffClusterCases() []diffClusterCase {
+	const scale, seed = 256, 1
+	run := func(spec serve.RunSpec) diffClusterCase {
+		return diffClusterCase{
+			name: "run/" + spec.Workload + "/" + spec.Variant + spec.Schedule,
+			kind: serve.KindRun, spec: spec,
+			direct: func(t *testing.T) []byte {
+				c := spec
+				out, err := serve.RunJob(context.Background(), &c)
+				return marshalResult(t, out, err)
+			},
+		}
+	}
+	cases := []diffClusterCase{
+		run(serve.RunSpec{Workload: "TJ", Variant: "twisted", Scale: scale, Seed: seed}),
+		run(serve.RunSpec{Workload: "MM", Variant: "interchanged", Scale: scale, Seed: seed}),
+		run(serve.RunSpec{Workload: "KNN", Variant: "original", Scale: scale, Seed: seed}),
+		run(serve.RunSpec{Workload: "PC", Schedule: "stripmine(64)∘twist(flagged)", Scale: scale, Seed: seed}),
+		run(serve.RunSpec{Workload: "VP", Variant: "twisted-cutoff:8", Scale: scale, Seed: seed, Workers: 4}),
+	}
+
+	mc := serve.MissCurveSpec{Workload: "TJ", Variant: "twisted", Scale: scale, Seed: seed}
+	cases = append(cases, diffClusterCase{
+		name: "misscurve/TJ/twisted", kind: serve.KindMissCurve, spec: mc,
+		direct: func(t *testing.T) []byte {
+			c := mc
+			out, err := serve.MissCurveJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
+	mc2 := serve.MissCurveSpec{Workload: "MM", Schedule: "interchange", Scale: scale, Seed: seed}
+	cases = append(cases, diffClusterCase{
+		name: "misscurve/MM/interchange", kind: serve.KindMissCurve, spec: mc2,
+		direct: func(t *testing.T) []byte {
+			c := mc2
+			out, err := serve.MissCurveJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
+
+	tr := serve.TransformSpec{Source: diffClusterTemplateSrc}
+	cases = append(cases, diffClusterCase{
+		name: "transform/all-variants", kind: serve.KindTransform, spec: tr,
+		direct: func(t *testing.T) []byte {
+			c := tr
+			out, err := serve.TransformJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
+
+	or := serve.OracleSpec{Workload: "TJ", Variant: "twisted", Scale: scale, Seed: seed}
+	cases = append(cases, diffClusterCase{
+		name: "oracle/TJ/twisted", kind: serve.KindOracle, spec: or,
+		direct: func(t *testing.T) []byte {
+			c := or
+			out, err := serve.OracleJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
+	or2 := serve.OracleSpec{Workload: "KNN", Schedule: "twist(flagged)", Scale: scale, Seed: seed}
+	cases = append(cases, diffClusterCase{
+		name: "oracle/KNN/twist-expr", kind: serve.KindOracle, spec: or2,
+		direct: func(t *testing.T) []byte {
+			c := or2
+			out, err := serve.OracleJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
+	return cases
+}
+
+const diffClusterTemplateSrc = `package p
+
+//twist:outer
+func Outer(o *Node, i *Node) {
+	if o == nil {
+		return
+	}
+	Inner(o, i)
+	Outer(o.Left, i)
+	Outer(o.Right, i)
+}
+
+//twist:inner
+func Inner(o *Node, i *Node) {
+	if i == nil {
+		return
+	}
+	work(o, i)
+	Inner(o, i.Left)
+	Inner(o, i.Right)
+}
+`
+
+// TestDifferentialCluster is the three-way equality: fleet (entered at a
+// node that neither owns nor replicates the digest, so the request crosses
+// a hop) == single-node twistd == direct library call, for every kind.
+func TestDifferentialCluster(t *testing.T) {
+	t.Parallel()
+	fleet := clustertest.Start(t, clustertest.Config{Nodes: 3})
+	single := serve.New(serve.Config{Workers: 2, Queue: 64})
+	ts := httptest.NewServer(single.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		single.Close()
+	})
+
+	for _, tc := range diffClusterCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := tc.direct(t)
+
+			// Single-node twistd.
+			body, err := json.Marshal(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/"+string(tc.kind), "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sEnv clustertest.Envelope
+			if err := json.NewDecoder(resp.Body).Decode(&sEnv); err != nil {
+				t.Fatalf("single-node envelope: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("single-node status %d", resp.StatusCode)
+			}
+
+			// Fleet, entered at a pure forwarder when one exists (with 3
+			// nodes and 2 replicas there always is one).
+			entry := fleet.NonOwnerIndex(sEnv.Digest)
+			if entry < 0 {
+				entry = 0
+			}
+			fEnv := fleet.PostEnvelope(t, entry, tc.kind, tc.spec)
+
+			if fEnv.Digest != sEnv.Digest {
+				t.Errorf("fleet digest %s, single-node %s", fEnv.Digest, sEnv.Digest)
+			}
+			if !bytes.Equal(sEnv.Result, want) {
+				t.Errorf("single-node result differs from direct call\nserved: %s\ndirect: %s", sEnv.Result, want)
+			}
+			if !bytes.Equal(fEnv.Result, want) {
+				t.Errorf("fleet result differs from direct call\nserved: %s\ndirect: %s", fEnv.Result, want)
+			}
+			if ownerIdx := fleet.OwnerIndex(sEnv.Digest); entry != ownerIdx && fEnv.Node == fleet.Nodes[entry].ID {
+				t.Errorf("request entered at forwarder %q but was served there, not by the owner", fEnv.Node)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twist/internal/cluster"
 	"twist/internal/obs"
 )
 
@@ -62,18 +63,25 @@ type Config struct {
 	Recorder obs.Recorder
 	// Executor overrides the job executor; nil means the engine.
 	Executor Executor
+	// Cluster, when non-nil, puts the server in fleet mode (DESIGN.md
+	// §4.14): jobs route by digest through the consistent-hash ring, with
+	// forwarding, follower cache admission, fleet-wide shedding, and the
+	// /clusterz and /metrics/fleet endpoints. The server starts the node's
+	// health prober and stops it on Close.
+	Cluster *cluster.Node
 }
 
 // Server is the twistd serving core: an http.Handler plus the admission
 // queue, worker pool, result cache, and coalescing index behind it.
 // Construct with New, serve via Handler, stop with BeginDrain/Drain/Close.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	pool  *pool
-	cache *resultCache
-	group *flightGroup
-	exec  Executor
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *pool
+	cache   *resultCache
+	group   *flightGroup
+	exec    Executor
+	cluster *cluster.Node // nil outside fleet mode
 
 	mem *obs.Memory  // internal recorder: /metrics reads its counters
 	rec obs.Recorder // mem teed with cfg.Recorder; all signals go here
@@ -99,11 +107,12 @@ func New(cfg Config) *Server {
 		cfg.JobTimeout = 60 * time.Second
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		group: newFlightGroup(),
-		mem:   obs.NewMemory(),
-		lat:   &latencies{},
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		group:   newFlightGroup(),
+		mem:     obs.NewMemory(),
+		lat:     &latencies{},
+		cluster: cfg.Cluster,
 	}
 	s.rec = obs.Recorder(s.mem)
 	if cfg.Recorder != nil {
@@ -126,6 +135,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		s.mux.HandleFunc("GET /clusterz", s.handleClusterz)
+		s.mux.HandleFunc("GET /metrics/fleet", s.handleFleetMetrics)
+		s.cluster.StartProber()
+	}
 	return s
 }
 
@@ -141,6 +155,11 @@ type envelope struct {
 	Cached    bool            `json:"cached"`
 	ElapsedNS int64           `json:"elapsed_ns"`
 	Result    json.RawMessage `json:"result"`
+	// Node is the fleet node that produced the result bytes and Via the
+	// node that forwarded them, both set only in fleet mode — single-node
+	// envelopes keep their pre-fleet shape byte for byte.
+	Node string `json:"node,omitempty"`
+	Via  string `json:"via,omitempty"`
 }
 
 // errorBody is the JSON body of every non-2xx response.
@@ -169,6 +188,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind Kind) {
 	}
 	digest := Digest(spec)
 
+	// Fleet mode: route by digest — forward to the owner, shed on the
+	// fleet bound, or fall through to local serving (we own it, it arrived
+	// forwarded, or the fleet is unreachable). See cluster.go.
+	if s.cluster != nil && s.clusterServe(w, r, kind, start, digest, spec) {
+		return
+	}
+
 	body, cached, err := s.do(r.Context(), digest, spec)
 	if err != nil {
 		s.writeJobError(w, err)
@@ -181,6 +207,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind Kind) {
 		Cached:    cached,
 		ElapsedNS: time.Since(start).Nanoseconds(),
 		Result:    body,
+		Node:      s.nodeID(),
 	})
 }
 
@@ -307,11 +334,26 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // counter map as Telemetry — the same shape bench gating consumes, so a
 // scraped report feeds obs.Compare unchanged.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	rep := obs.NewReport("twistd", map[string]string{
+	rep := s.metricsReport()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// metricsReport builds the single-node obs.Report behind /metrics; the
+// fleet endpoint merges one per node (cluster.go).
+func (s *Server) metricsReport() *obs.Report {
+	params := map[string]string{
 		"queue":   strconv.Itoa(s.cfg.Queue),
 		"workers": strconv.Itoa(s.cfg.Workers),
 		"cache":   strconv.Itoa(s.cfg.CacheEntries),
-	})
+	}
+	if s.cluster != nil {
+		params["node"] = s.cluster.Self().ID
+		params["version"] = s.cluster.Version()
+	}
+	rep := obs.NewReport("twistd", params)
 	counters := s.mem.Counters()
 	row := rep.AddRow("serve")
 	var jobs int64
@@ -336,11 +378,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	row.NoisySeconds("serve.job.p50", q[0])
 	row.NoisySeconds("serve.job.p99", q[1])
 	rep.Telemetry = counters
-
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(rep)
+	return rep
 }
 
 // Recorder returns the server's combined recorder: everything the serve
@@ -370,6 +408,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // canceled via the base context) and frees the worker pool. Use Drain first
 // for graceful shutdown.
 func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.StopProber()
+	}
 	s.BeginDrain()
 	s.baseStop()
 	s.pool.Drain(context.Background())
