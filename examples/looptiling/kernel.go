@@ -1,0 +1,27 @@
+package main
+
+// The kernel state lives at package level so the loop body is free of local
+// captures (the front-end embeds the body verbatim into the generated
+// recursion, which cannot close over main's locals).
+var (
+	xs  []float64
+	ys  []float64
+	acc []float64
+)
+
+// The paper's own motivating loop (§1.1, §3.2): a vector outer-product
+// accumulation. Each body iteration touches xs[o], ys[i], acc[o] — one
+// vector gets perfect locality, the other is streamed in full per outer
+// iteration, unless the schedule is tiled. cmd/twist -from-loops converts
+// this nest to the recursion template (kernel_template.go) and twisting the
+// result is §7.2's parameterless multi-level loop tiling
+// (kernel_twisted.go).
+
+//twist:loops name=outerProduct leafrun=8
+func outerProductLoops(n int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < n; i++ {
+			acc[o] += xs[o] * ys[i]
+		}
+	}
+}

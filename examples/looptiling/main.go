@@ -1,12 +1,18 @@
-// looptiling demonstrates §7.2 through the public API: a doubly-nested loop
-// is recast as a nested recursion (twist.NewLoopNest) and recursion twisting
-// then acts as automatic multi-level loop tiling — "a schedule that fits all
-// levels of cache without knowing the number and sizes of caches".
+// looptiling demonstrates §7.2 through the loop front-end: the plain loop
+// nest in kernel.go is converted to a nested recursion by cmd/twist
+// -from-loops (committed as kernel_template.go), and recursion twisting of
+// that template (kernel_twisted.go) then acts as automatic multi-level loop
+// tiling — "a schedule that fits all levels of cache without knowing the
+// number and sizes of caches".
 //
 // The kernel is a vector outer product accumulation, the paper's own
 // motivating loop example (§1.1, §3.2): one vector gets perfect locality,
 // the other is streamed in full per outer iteration — unless the schedule is
 // tiled.
+//
+// Regenerate the committed files with:
+//
+//	go run ./cmd/twist -in examples/looptiling/kernel.go -from-loops
 //
 // Run with:
 //
@@ -16,51 +22,62 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"runtime"
 	"time"
-
-	"twist"
 )
 
 func main() {
 	n := flag.Int("n", 4096, "vector length (the loop nest is n x n)")
 	flag.Parse()
 
-	x := make([]float64, *n)
-	y := make([]float64, *n)
-	for k := range x {
-		x[k] = float64(k%13) / 7
-		y[k] = float64(k%17) / 5
+	xs = make([]float64, *n)
+	ys = make([]float64, *n)
+	acc = make([]float64, *n)
+	for k := range xs {
+		xs[k] = float64(k%13) / 7
+		ys[k] = float64(k%17) / 5
 	}
 
-	ln, err := twist.NewLoopNest(*n, *n, 8)
-	if err != nil {
-		panic(err)
-	}
-
-	// acc[o] accumulates row sums of the outer product x ⊗ y; each loop body
-	// touches x[o], y[i], acc[o] — the locality profile of the paper's
-	// vector outer product.
-	acc := make([]float64, *n)
-	body := func(o, i int) { acc[o] += x[o] * y[i] }
-
-	for _, v := range []twist.Variant{twist.Original(), twist.Twisted(), twist.TwistedCutoff(256)} {
+	run := func(label string, kernel func()) float64 {
 		for k := range acc {
 			acc[k] = 0
 		}
 		runtime.GC()
 		t0 := time.Now()
-		e := ln.Run(body, v)
+		kernel()
 		dt := time.Since(t0)
 		var sum float64
 		for _, a := range acc {
 			sum += a
 		}
-		fmt.Printf("%-16v sum=%-18.6f twists=%-8d time=%v\n",
-			v, sum, e.Stats.Twists, dt.Round(time.Microsecond))
+		fmt.Printf("%-22s sum=%-18.6f time=%v\n", label, sum, dt.Round(time.Microsecond))
+		return sum
 	}
 
-	fmt.Println("\nall schedules compute the same sums; the twisted order walks the")
-	fmt.Println("n x n space in nested tiles, so y stays cache-resident at every level")
-	fmt.Println("(compare the original's full sweep of y per outer iteration).")
+	want := run("source loop", func() { outerProductLoops(*n) })
+	checks := []struct {
+		label  string
+		kernel func()
+	}{
+		{"original (recursion)", func() { outerProductRun(*n) }},
+		{"twisted", func() {
+			o, i := outerProductNest(*n)
+			outerProductOuterTwisted(o, i)
+		}},
+		{"twisted-cutoff(256)", func() {
+			o, i := outerProductNest(*n)
+			outerProductOuterTwistedCutoff(o, i, 256)
+		}},
+	}
+	for _, c := range checks {
+		if got := run(c.label, c.kernel); math.Abs(got-want) > 1e-6*math.Abs(want) {
+			fmt.Printf("FAIL: %s computed %v, source loop computed %v\n", c.label, got, want)
+			return
+		}
+	}
+
+	fmt.Println("\nall schedules compute the source loop's sums; the twisted order walks")
+	fmt.Println("the n x n space in nested tiles, so ys stays cache-resident at every")
+	fmt.Println("level (compare the original's full sweep of ys per outer iteration).")
 }

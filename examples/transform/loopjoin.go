@@ -1,0 +1,20 @@
+package main
+
+// visitLoopJoin is the work body of the loop-sourced rectangular nest;
+// main.go points it at a recording function.
+var visitLoopJoin func(o, i int)
+
+// A plain rectangular loop nest for the loop front-end (§7.2): cmd/twist
+// -from-loops converts it to the Fig 2 recursion template
+// (loopjoin_template.go) and generates schedules from that template
+// (loopjoin_twisted.go) in one invocation — twisting as parameterless
+// multi-level loop tiling.
+
+//twist:loops name=loopJoin leafrun=4
+func loopJoinLoops(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visitLoopJoin(o, i)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+// visitLoopTri is the work body of the loop-sourced triangular nest;
+// main.go points it at a recording function.
+var visitLoopTri func(o, i int)
+
+// A triangular loop nest: the inner bound depends on the outer index, so the
+// front-end marks the nest irregular and the generated template carries
+// Fig 6(b) truncation-flag accessors (loopTriTrunc/loopTriSetTrunc) that the
+// twisted schedules use to stay sound under interleaving.
+
+//twist:loops name=loopTri leafrun=2
+func loopTriLoops(n int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < o; i++ {
+			visitLoopTri(o, i)
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // soundness conditions at runtime — the executed iteration sets are equal
 // and every column (fixed outer node) keeps its iteration order.
 //
+// The loop-sourced half of the corpus (loopjoin.go, looptri.go) enters the
+// pipeline through the loop front-end: the committed *_template.go and
+// *_twisted.go files are cmd/twist -from-loops output, and the harness
+// additionally checks the stricter §7.2 property that the Original schedule
+// reproduces the source loop's iteration order exactly, element for element.
+//
 // Regenerate the *_twisted.go files with:
 //
 //	go run ./cmd/twist -in examples/transform/join.go
@@ -10,6 +16,8 @@
 //	go run ./cmd/twist -in examples/transform/join.go \
 //	    -out examples/transform/join_inline.go \
 //	    -schedules 'inline(2)∘twist(flagged)'
+//	go run ./cmd/twist -in examples/transform/loopjoin.go -from-loops
+//	go run ./cmd/twist -in examples/transform/looptri.go -from-loops
 //
 // Run with:
 //
@@ -48,6 +56,66 @@ func checkSchedules(name string, ref, got []visit) {
 		refCols[v.o] = append(refCols[v.o], v.i)
 	}
 	gotCols := map[*Node][]*Node{}
+	for _, v := range got {
+		gotCols[v.o] = append(gotCols[v.o], v.i)
+	}
+	for o, rs := range refCols {
+		gs := gotCols[o]
+		for k := range rs {
+			if gs[k] != rs[k] {
+				fmt.Fprintf(os.Stderr, "%s: column order violated\n", name)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// ivisit is one executed iteration of a loop-sourced nest.
+type ivisit struct{ o, i int }
+
+// irecord returns a visit-capturing work function over integer indices.
+func irecord(dst *[]ivisit) func(o, i int) {
+	return func(o, i int) { *dst = append(*dst, ivisit{o, i}) }
+}
+
+// checkExactOrder verifies the §7.2 front-end contract: the generated
+// Original schedule replays the source loop byte for byte.
+func checkExactOrder(name string, src, gen []ivisit) {
+	if len(src) != len(gen) {
+		fmt.Fprintf(os.Stderr, "%s: source loop ran %d iterations, generated Original ran %d\n",
+			name, len(src), len(gen))
+		os.Exit(1)
+	}
+	for k := range src {
+		if src[k] != gen[k] {
+			fmt.Fprintf(os.Stderr, "%s: iteration %d differs: source (%d,%d), generated (%d,%d)\n",
+				name, k, src[k].o, src[k].i, gen[k].o, gen[k].i)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkLoopSchedules verifies set-equality and per-column order preservation
+// for the integer-indexed loop corpus.
+func checkLoopSchedules(name string, ref, got []ivisit) {
+	refCount := map[ivisit]int{}
+	for _, v := range ref {
+		refCount[v]++
+	}
+	for _, v := range got {
+		refCount[v]--
+	}
+	for v, c := range refCount {
+		if c != 0 {
+			fmt.Fprintf(os.Stderr, "%s: iteration (%d,%d) count differs by %d\n", name, v.o, v.i, -c)
+			os.Exit(1)
+		}
+	}
+	refCols := map[int][]int{}
+	for _, v := range ref {
+		refCols[v.o] = append(refCols[v.o], v.i)
+	}
+	gotCols := map[int][]int{}
 	for _, v := range got {
 		gotCols[v.o] = append(gotCols[v.o], v.i)
 	}
@@ -118,5 +186,63 @@ func main() {
 	full := 127 * 127
 	fmt.Printf("prune: %d of %d iterations (irregular truncation) agree across schedules\n",
 		len(ref), full)
+
+	// --- loop front-end, regular nest: rectangular loopjoin -------------
+	const ln, lm = 37, 23
+	var lsrc, lref, lgot []ivisit
+	visitLoopJoin = irecord(&lsrc)
+	loopJoinLoops(ln, lm)
+
+	visitLoopJoin = irecord(&lref)
+	loopJoinRun(ln, lm)
+	checkExactOrder("loopjoin/original", lsrc, lref)
+
+	lo, li := loopJoinNest(ln, lm)
+	visitLoopJoin = irecord(&lgot)
+	loopJoinOuterSwapped(lo, li)
+	checkLoopSchedules("loopjoin/interchanged", lref, lgot)
+
+	lgot = nil
+	lo, li = loopJoinNest(ln, lm)
+	visitLoopJoin = irecord(&lgot)
+	loopJoinOuterTwisted(lo, li)
+	checkLoopSchedules("loopjoin/twisted", lref, lgot)
+
+	lgot = nil
+	lo, li = loopJoinNest(ln, lm)
+	visitLoopJoin = irecord(&lgot)
+	loopJoinOuterTwistedCutoff(lo, li, 8)
+	checkLoopSchedules("loopjoin/twisted-cutoff", lref, lgot)
+	fmt.Printf("loopjoin: %d loop iterations replayed exactly by the generated Original,\n", len(lsrc))
+	fmt.Println("          interchanged/twisted/cutoff permutation-equivalent")
+
+	// --- loop front-end, irregular nest: triangular looptri -------------
+	lsrc, lref = nil, nil
+	visitLoopTri = irecord(&lsrc)
+	loopTriLoops(ln)
+
+	visitLoopTri = irecord(&lref)
+	loopTriRun(ln)
+	checkExactOrder("looptri/original", lsrc, lref)
+
+	lgot = nil
+	to, ti := loopTriNest(ln)
+	visitLoopTri = irecord(&lgot)
+	loopTriOuterSwapped(to, ti)
+	checkLoopSchedules("looptri/interchanged", lref, lgot)
+
+	lgot = nil
+	to, ti = loopTriNest(ln)
+	visitLoopTri = irecord(&lgot)
+	loopTriOuterTwisted(to, ti)
+	checkLoopSchedules("looptri/twisted", lref, lgot)
+
+	lgot = nil
+	to, ti = loopTriNest(ln)
+	visitLoopTri = irecord(&lgot)
+	loopTriOuterTwistedCutoff(to, ti, 4)
+	checkLoopSchedules("looptri/twisted-cutoff", lref, lgot)
+	fmt.Printf("looptri:  %d of %d iterations (triangular, truncation-flagged) agree across schedules\n",
+		len(lref), ln*ln)
 	fmt.Println("generated schedules are sound on this input")
 }

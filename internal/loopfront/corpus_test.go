@@ -1,0 +1,64 @@
+package loopfront
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twist/internal/transform"
+	"twist/internal/transform/algebra"
+)
+
+// The checked-in loop-sourced examples must be exactly what the front-end
+// generates — this keeps the committed *_template.go and *_twisted.go files
+// in sync with cmd/twist -from-loops, mirroring the recursive corpus's
+// TestExampleCorpusInSync.
+func TestLoopCorpusInSync(t *testing.T) {
+	cases := []struct {
+		dir, base string
+	}{
+		{filepath.Join("..", "..", "examples", "transform"), "loopjoin"},
+		{filepath.Join("..", "..", "examples", "transform"), "looptri"},
+		{filepath.Join("..", "..", "examples", "looptiling"), "kernel"},
+	}
+	for _, c := range cases {
+		t.Run(c.base, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(c.dir, c.base+".go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Convert under the repo-root-relative name cmd/twist is run
+			// with, so the generated header's position matches byte for
+			// byte.
+			in := "examples/" + filepath.Base(c.dir) + "/" + c.base + ".go"
+			unit, err := Single(in, src, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTmpl, err := os.ReadFile(filepath.Join(c.dir, c.base+"_template.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(unit.Source) != string(wantTmpl) {
+				t.Fatalf("%s_template.go out of sync with the loop front-end; regenerate with:\n  go run ./cmd/twist -in examples/%s/%s.go -from-loops",
+					c.base, filepath.Base(c.dir), c.base)
+			}
+			tmpl, err := transform.ParseFile(c.base+"_template.go", unit.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := algebra.GenerateSchedules(tmpl, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTw, err := os.ReadFile(filepath.Join(c.dir, c.base+"_twisted.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(wantTw) {
+				t.Fatalf("%s_twisted.go out of sync with cmd/twist -from-loops output; regenerate with:\n  go run ./cmd/twist -in examples/%s/%s.go -from-loops",
+					c.base, filepath.Base(c.dir), c.base)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package loopfront
+
+import (
+	"strings"
+	"testing"
+
+	"twist/internal/transform"
+)
+
+// FuzzLoopFront checks the front end on arbitrary Go source: every input is
+// either rejected with a diagnostic or converted into units whose generated
+// templates round-trip transform.ParseFile and the downstream generator
+// without error. Internal "(tool bug)" failures — the generator emitting
+// something its own gates reject — are crashes for the fuzzer to minimize,
+// not acceptable rejections.
+func FuzzLoopFront(f *testing.F) {
+	f.Add([]byte("package p\n\nvar visit func(o, i int)\n\n//twist:loops\nfunc kernel(n, m int) {\n\tfor o := 0; o < n; o++ {\n\t\tfor i := 0; i < m; i++ {\n\t\t\tvisit(o, i)\n\t\t}\n\t}\n}\n"))
+	f.Add([]byte("package p\n\nvar visit func(o, i int)\n\n//twist:loops leafrun=4\nfunc tri(n int) {\n\tfor o := 0; o < n; o++ {\n\t\tfor i := 0; i < o; i++ {\n\t\t\tvisit(o, i)\n\t\t}\n\t}\n}\n"))
+	f.Add([]byte("package p\n\nvar visit func(o, i int)\n\n//twist:loops\nfunc dd(n, m int) {\n\to := 0\n\tfor {\n\t\ti := 0\n\t\tfor {\n\t\t\tvisit(o, i)\n\t\t\ti++\n\t\t\tif i >= m {\n\t\t\t\tbreak\n\t\t\t}\n\t\t}\n\t\to++\n\t\tif o >= n {\n\t\t\tbreak\n\t\t}\n\t}\n}\n"))
+	f.Add([]byte("package p\n\n//twist:loops\nfunc bad(n int) {\n\tfor o := 0; o < n; o++ {\n\t\tprintln(o)\n\t\tfor i := 0; i < n; i++ {\n\t\t}\n\t}\n}\n"))
+	f.Add([]byte("package p\n\n//twist:loops\nfunc ww(n, m int) {\n\to := 2\n\tfor o < n {\n\t\ti := 1\n\t\tfor i <= m {\n\t\t\tprintln(o, i)\n\t\t\ti++\n\t\t}\n\t\to++\n\t}\n}\n"))
+	f.Add([]byte("package p"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		units, err := File("fuzz.go", src)
+		if err != nil {
+			if strings.Contains(err.Error(), "tool bug") {
+				t.Fatalf("generator self-gate tripped: %v", err)
+			}
+			return // rejected with a diagnostic: fine
+		}
+		for _, u := range units {
+			tmpl, err := transform.ParseFile(u.Name+"_template.go", u.Source)
+			if err != nil {
+				t.Fatalf("accepted nest %s does not round-trip transform.ParseFile: %v\n%s", u.Name, err, u.Source)
+			}
+			if tmpl.Irregular() != u.Irregular {
+				t.Fatalf("nest %s irregularity mismatch: template %v, unit %v", u.Name, tmpl.Irregular(), u.Irregular)
+			}
+			if _, err := transform.Generate(tmpl); err != nil {
+				t.Fatalf("accepted nest %s fails downstream generation: %v", u.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,513 @@
+package loopfront
+
+// Generation: emit the template file for one recognized nest. The output
+// must conform to the Fig 2 template *by construction* — gen re-parses its
+// own output through transform.ParseFile as a gate, so a unit that reaches
+// the caller is guaranteed to chain into the downstream generator, the
+// schedule algebra, and twistd.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/printer"
+	"go/token"
+	"strings"
+
+	"twist/internal/transform"
+)
+
+// render pretty-prints an AST node with the source file's position table.
+func render(fset *token.FileSet, n ast.Node) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, n); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// maybeParens renders an expression, parenthesized unless atomic.
+func maybeParens(fset *token.FileSet, e ast.Expr) string {
+	s := render(fset, e)
+	switch e.(type) {
+	case *ast.Ident, *ast.BasicLit, *ast.SelectorExpr, *ast.CallExpr, *ast.ParenExpr, *ast.IndexExpr:
+		return s
+	}
+	return "(" + s + ")"
+}
+
+// variantSuffixes are the names internal/transform will later derive from
+// the recursion pair; the collision check covers them so the *whole*
+// pipeline is clash-free, not just the template file.
+var variantSuffixes = []string{
+	"OuterSwapped", "InnerSwapped", "OuterTwisted", "OuterSwappedTwisted",
+	"InnerTwisted", "OuterTwistedCutoff", "OuterSwappedTwistedCutoff",
+}
+
+// names holds every identifier the generated file declares or binds.
+type names struct {
+	node, leafConst, tree, size, bound, trunc, setTrunc, mark string
+	nest, run, outer, inner                                   string
+	on, in                                                    string // recursion parameter names
+	oLo, oHi, iLo, iHi, h, ov, iv                             string // entry-point locals
+}
+
+// fresh picks base, or base2, base3, ... — the first name not in used —
+// and reserves it.
+func fresh(base string, used map[string]bool) string {
+	name := base
+	for k := 2; used[name]; k++ {
+		name = fmt.Sprintf("%s%d", base, k)
+	}
+	used[name] = true
+	return name
+}
+
+// identSet collects every identifier appearing under a node.
+func identSet(n ast.Node, out map[string]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+}
+
+// pickNames resolves all generated identifiers for a nest named prefix,
+// erroring when a prefix-derived top-level name collides with the source.
+func pickNames(fset *token.FileSet, file *ast.File, fn *ast.FuncDecl, n *loNest, prefix string, irregular bool) (*names, error) {
+	used := map[string]bool{}
+	identSet(fn, used)
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			used[d.Name.Name] = true
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, id := range s.Names {
+						used[id.Name] = true
+					}
+				case *ast.TypeSpec:
+					used[s.Name.Name] = true
+				}
+			}
+		}
+	}
+
+	nm := &names{
+		node: prefix + "Node", leafConst: prefix + "LeafRun",
+		tree: prefix + "Tree", size: prefix + "Size",
+		nest: prefix + "Nest", run: prefix + "Run",
+		outer: prefix + "Outer", inner: prefix + "Inner",
+	}
+	topLevel := []string{nm.node, nm.leafConst, nm.tree, nm.size, nm.nest, nm.run, nm.outer, nm.inner}
+	if irregular {
+		nm.bound, nm.trunc, nm.setTrunc = prefix+"Bound", prefix+"Trunc", prefix+"SetTrunc"
+		topLevel = append(topLevel, nm.bound, nm.trunc, nm.setTrunc)
+		if n.inner.shape == ShapeDo {
+			nm.mark = prefix + "Mark"
+			topLevel = append(topLevel, nm.mark)
+		}
+	}
+	for _, suf := range variantSuffixes {
+		topLevel = append(topLevel, prefix+suf)
+	}
+	for _, name := range topLevel {
+		if used[name] {
+			return nil, errf(fset, fn.Pos(), "generated identifier %s collides with an existing name; pick another nest name with //twist:loops name=", name)
+		}
+	}
+	for _, name := range topLevel {
+		used[name] = true
+	}
+
+	// Recursion parameters: must not collide with anything the embedded
+	// body or bounds reference, nor with the index names they sit beside.
+	nm.on = fresh("on", used)
+	nm.in = fresh("in", used)
+
+	// Entry-point locals: must not shadow anything the bound expressions
+	// (embedded into pNest) or the parameter forwarding (pRun) reference.
+	entryUsed := map[string]bool{n.outer.idx: true, n.inner.idx: true}
+	for _, f := range fn.Type.Params.List {
+		for _, id := range f.Names {
+			entryUsed[id.Name] = true
+		}
+	}
+	for _, e := range []ast.Expr{n.outer.lo, n.outer.hi, n.inner.lo, n.inner.hi} {
+		if e != nil {
+			identSet(e, entryUsed)
+		}
+	}
+	for _, name := range topLevel {
+		entryUsed[name] = true
+	}
+	nm.oLo = fresh("oLo", entryUsed)
+	nm.oHi = fresh("oHi", entryUsed)
+	nm.iLo = fresh("iLo", entryUsed)
+	nm.iHi = fresh("iHi", entryUsed)
+	nm.h = fresh("h", entryUsed)
+	nm.ov = fresh("outer", entryUsed)
+	nm.iv = fresh("inner", entryUsed)
+	return nm, nil
+}
+
+// convertNest runs checks, naming, emission, and the round-trip gate for
+// one nest, producing its Unit.
+func convertNest(fset *token.FileSet, file *ast.File, fn *ast.FuncDecl, n *loNest, name string, leafRun int) (*Unit, error) {
+	irregular, err := checkNest(fset, fn, n)
+	if err != nil {
+		return nil, err
+	}
+	nm, err := pickNames(fset, file, fn, n, name, irregular)
+	if err != nil {
+		return nil, err
+	}
+	g := &emitter{fset: fset, file: file, fn: fn, n: n, nm: nm, name: name, leafRun: leafRun, irregular: irregular}
+	raw := g.emit()
+	src, err := format.Source(raw)
+	if err != nil {
+		return nil, fmt.Errorf("loopfront: generated code does not format (tool bug): %v\n%s", err, raw)
+	}
+	tmpl, err := transform.ParseFile(name+"_template.go", src)
+	if err != nil {
+		return nil, fmt.Errorf("loopfront: generated template does not round-trip transform.ParseFile (tool bug): %v\n%s", err, src)
+	}
+	if tmpl.Irregular() != irregular {
+		return nil, fmt.Errorf("loopfront: generated template irregularity %v disagrees with the recognizer's %v (tool bug)", tmpl.Irregular(), irregular)
+	}
+
+	u := &Unit{
+		Name: name, Func: fn.Name.Name, Pkg: file.Name.Name,
+		OuterIdx: n.outer.idx, InnerIdx: n.inner.idx,
+		OuterShape: n.outer.shape, InnerShape: n.inner.shape,
+		OuterLo: g.loString(n.outer), OuterHi: g.hiString(n.outer),
+		InnerLo: g.loString(n.inner), InnerHi: g.hiString(n.inner),
+		Irregular: irregular, LeafRun: leafRun,
+		Pos:      fset.Position(n.outer.pos),
+		NodeType: nm.node, NestFn: nm.nest, RunFn: nm.run,
+		OuterFn: nm.outer, InnerFn: nm.inner, SizeFn: nm.size,
+		TruncFn: nm.trunc, SetTruncFn: nm.setTrunc,
+		Source: src,
+	}
+	return u, nil
+}
+
+// emitter writes the template file for one nest.
+type emitter struct {
+	fset      *token.FileSet
+	file      *ast.File
+	fn        *ast.FuncDecl
+	n         *loNest
+	nm        *names
+	name      string
+	leafRun   int
+	irregular bool
+	b         bytes.Buffer
+}
+
+func (g *emitter) pf(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
+
+// loString renders a level's lower bound (range loops have an implicit 0).
+func (g *emitter) loString(l *loop) string {
+	if l.lo == nil {
+		return "0"
+	}
+	return render(g.fset, l.lo)
+}
+
+// hiString renders a level's exclusive upper bound; `<=` headers get a +1
+// wrap so the rendered space is always half-open.
+func (g *emitter) hiString(l *loop) string {
+	if l.incl {
+		return maybeParens(g.fset, l.hi) + "+1"
+	}
+	return render(g.fset, l.hi)
+}
+
+// params renders the source function's parameter list and its forwarding
+// argument list.
+func (g *emitter) params() (decl, fwd string) {
+	var ds, fs []string
+	for _, f := range g.fn.Type.Params.List {
+		var names []string
+		for _, id := range f.Names {
+			names = append(names, id.Name)
+			fs = append(fs, id.Name)
+		}
+		ds = append(ds, strings.Join(names, ", ")+" "+render(g.fset, f.Type))
+	}
+	return strings.Join(ds, ", "), strings.Join(fs, ", ")
+}
+
+func (g *emitter) emit() []byte {
+	n, nm := g.n, g.nm
+	g.pf("// Code generated by the twist loop front-end (internal/loopfront) from the\n")
+	g.pf("// //twist:loops nest %q (function %s, %s). DO NOT EDIT.\n", g.name, g.fn.Name.Name, g.fset.Position(n.outer.pos))
+	g.pf("//\n")
+	g.pf("// The source nest — a %s-shaped outer loop over %s in [%s, %s) nesting a\n", n.outer.shape, n.outer.idx, g.loString(n.outer), g.hiString(n.outer))
+	if g.irregular {
+		g.pf("// %s-shaped inner loop over %s whose upper bound %s depends on %s —\n", n.inner.shape, n.inner.idx, g.hiString(n.inner), n.outer.idx)
+	} else {
+		g.pf("// %s-shaped inner loop over %s in [%s, %s) —\n", n.inner.shape, n.inner.idx, g.loString(n.inner), g.hiString(n.inner))
+	}
+	g.pf("// is re-expressed as two balanced-divide recursions over binary range\n")
+	g.pf("// trees of half-open index spans, conforming to the paper's §5 nested\n")
+	g.pf("// recursion template (Fig 2): %s walks the outer tree, %s the\n", nm.outer, nm.inner)
+	g.pf("// inner, and the loop body runs verbatim at leaf×leaf span pairs. Under\n")
+	g.pf("// the Original schedule the visit order is exactly the source loop's;\n")
+	g.pf("// interchange and twisting then apply — per §7.2, twisting a loop-derived\n")
+	g.pf("// recursion is parameterless multi-level loop tiling.\n")
+	if g.irregular {
+		g.pf("//\n")
+		g.pf("// The outer-dependent inner bound makes the space irregular (§4): every\n")
+		g.pf("// outer node carries bmax, the largest row bound over its span, so\n")
+		g.pf("// truncation (%s.lo >= %s.bmax) prunes exactly the all-empty pairs, and\n", nm.in, nm.on)
+		g.pf("// the %s/%s flag accessors carry the Fig 6(b) protocol for the\n", nm.trunc, nm.setTrunc)
+		g.pf("// twisted schedules.\n")
+	}
+	g.pf("\npackage %s\n\n", g.file.Name.Name)
+
+	g.nodeType()
+	g.leafRunConst()
+	g.treeBuilder()
+	g.sizeFn()
+	if g.irregular {
+		g.boundFn()
+		g.truncFns()
+		if n.inner.shape == ShapeDo {
+			g.markFn()
+		}
+	}
+	g.nestFn()
+	g.runFn()
+	g.outerFn()
+	g.innerFn()
+	return g.b.Bytes()
+}
+
+func (g *emitter) nodeType() {
+	nm := g.nm
+	g.pf("// %s is one half-open span [lo, hi) of an iteration range: a node of a\n", nm.node)
+	g.pf("// balanced binary range tree. size counts subtree nodes (the twisting\n")
+	g.pf("// balance oracle)")
+	if g.irregular {
+		g.pf("; bmax is the largest inner row bound over the span and\n")
+		g.pf("// trunc the Fig 6(b) region flag")
+		if g.nm.mark != "" {
+			g.pf("; dlo marks the row start a do-shaped\n// source loop executes unconditionally")
+		}
+	}
+	g.pf(".\n")
+	g.pf("type %s struct {\n", nm.node)
+	g.pf("\tleft, right *%s\n", nm.node)
+	g.pf("\tlo, hi      int\n")
+	g.pf("\tsize        int\n")
+	if g.irregular {
+		g.pf("\tbmax  int\n")
+		g.pf("\ttrunc bool\n")
+		if nm.mark != "" {
+			g.pf("\tdlo int\n")
+		}
+	}
+	g.pf("}\n\n")
+}
+
+func (g *emitter) leafRunConst() {
+	g.pf("// %s is the consecutive-iteration count under one inner leaf\n", g.nm.leafConst)
+	g.pf("// (//twist:loops leafrun=%d). The outer tree always uses run-1 leaves so\n", g.leafRun)
+	g.pf("// the Original schedule reproduces the source order exactly.\n")
+	g.pf("const %s = %d\n\n", g.nm.leafConst, g.leafRun)
+}
+
+func (g *emitter) treeBuilder() {
+	nm := g.nm
+	g.pf("// %s builds a balanced binary range tree over [lo, hi): leaves cover at\n", nm.tree)
+	g.pf("// most leaf consecutive iterations, internal nodes split the leaf count\n")
+	g.pf("// in half. An empty span is a nil tree.\n")
+	g.pf("func %s(lo, hi, leaf int) *%s {\n", nm.tree, nm.node)
+	g.pf("\tif hi <= lo {\n\t\treturn nil\n\t}\n")
+	g.pf("\tn := (hi - lo + leaf - 1) / leaf\n")
+	g.pf("\tif n <= 1 {\n")
+	g.pf("\t\treturn &%s{lo: lo, hi: hi, size: 1}\n", nm.node)
+	g.pf("\t}\n")
+	g.pf("\tmid := lo + (n/2)*leaf\n")
+	g.pf("\tl := %s(lo, mid, leaf)\n", nm.tree)
+	g.pf("\tr := %s(mid, hi, leaf)\n", nm.tree)
+	g.pf("\treturn &%s{left: l, right: r, lo: lo, hi: hi, size: l.size + r.size + 1}\n", nm.node)
+	g.pf("}\n\n")
+}
+
+func (g *emitter) sizeFn() {
+	nm := g.nm
+	g.pf("// %s reports the node count of a subtree, nil-safe: the §5 size oracle\n", nm.size)
+	g.pf("// the twisted schedules balance the two recursions with.\n")
+	g.pf("func %s(nd *%s) int {\n", nm.size, nm.node)
+	g.pf("\tif nd == nil {\n\t\treturn 0\n\t}\n")
+	g.pf("\treturn nd.size\n")
+	g.pf("}\n\n")
+}
+
+func (g *emitter) boundFn() {
+	nm := g.nm
+	g.pf("// %s fills bmax — the maximum inner row bound over each outer span —\n", nm.bound)
+	g.pf("// by post-order reduction, returning the root's value. floor (the inner\n")
+	g.pf("// lower bound) is the value for all-empty spans, making the truncation\n")
+	g.pf("// test `%s.lo >= %s.bmax` prune exactly the empty column pairs.\n", nm.in, nm.on)
+	g.pf("func %s(nd *%s, floor int, rowHi func(int) int) int {\n", nm.bound, nm.node)
+	g.pf("\tif nd == nil {\n\t\treturn floor\n\t}\n")
+	g.pf("\tif nd.left == nil {\n")
+	g.pf("\t\tm := floor\n")
+	g.pf("\t\tfor x := nd.lo; x < nd.hi; x++ {\n")
+	g.pf("\t\t\tif h := rowHi(x); h > m {\n\t\t\t\tm = h\n\t\t\t}\n")
+	g.pf("\t\t}\n")
+	g.pf("\t\tnd.bmax = m\n")
+	g.pf("\t\treturn m\n")
+	g.pf("\t}\n")
+	g.pf("\tm := %s(nd.left, floor, rowHi)\n", nm.bound)
+	g.pf("\tif r := %s(nd.right, floor, rowHi); r > m {\n\t\tm = r\n\t}\n", nm.bound)
+	g.pf("\tnd.bmax = m\n")
+	g.pf("\treturn m\n")
+	g.pf("}\n\n")
+}
+
+func (g *emitter) truncFns() {
+	nm := g.nm
+	g.pf("// %s reads the Fig 6(b) truncation flag of an outer-tree node.\n", nm.trunc)
+	g.pf("func %s(nd *%s) bool {\n", nm.trunc, nm.node)
+	g.pf("\treturn nd != nil && nd.trunc\n")
+	g.pf("}\n\n")
+	g.pf("// %s writes the Fig 6(b) truncation flag of an outer-tree node.\n", nm.setTrunc)
+	g.pf("func %s(nd *%s, v bool) {\n", nm.setTrunc, nm.node)
+	g.pf("\tif nd != nil {\n\t\tnd.trunc = v\n\t}\n")
+	g.pf("}\n\n")
+}
+
+func (g *emitter) markFn() {
+	nm := g.nm
+	g.pf("// %s records the first inner iteration on every node: the do-shaped\n", nm.mark)
+	g.pf("// source loop executes it unconditionally, so the leaf guard must not\n")
+	g.pf("// skip it even on rows whose bound has already been passed.\n")
+	g.pf("func %s(nd *%s, dlo int) {\n", nm.mark, nm.node)
+	g.pf("\tif nd == nil {\n\t\treturn\n\t}\n")
+	g.pf("\tnd.dlo = dlo\n")
+	g.pf("\t%s(nd.left, dlo)\n", nm.mark)
+	g.pf("\t%s(nd.right, dlo)\n", nm.mark)
+	g.pf("}\n\n")
+}
+
+func (g *emitter) nestFn() {
+	n, nm := g.n, g.nm
+	decl, _ := g.params()
+	g.pf("// %s evaluates the source bounds and builds the two range trees; pass\n", nm.nest)
+	g.pf("// the pair to %s or any schedule cmd/twist generates from the\n", nm.outer)
+	g.pf("// template. Parameters are those of the source function %s.\n", g.fn.Name.Name)
+	g.pf("func %s(%s) (%s, %s *%s) {\n", nm.nest, decl, nm.ov, nm.iv, nm.node)
+	g.pf("\t%s, %s := %s, %s\n", nm.oLo, nm.oHi, g.loString(n.outer), g.hiString(n.outer))
+	if n.outer.shape == ShapeDo {
+		g.pf("\tif %s < %s+1 { // do-shaped: the outer body runs at least once\n", nm.oHi, nm.oLo)
+		g.pf("\t\t%s = %s + 1\n", nm.oHi, nm.oLo)
+		g.pf("\t}\n")
+	}
+	g.pf("\t%s = %s(%s, %s, 1)\n", nm.ov, nm.tree, nm.oLo, nm.oHi)
+	if g.irregular {
+		g.pf("\t%s := %s\n", nm.iLo, g.loString(n.inner))
+		g.pf("\t%s := %s(%s, %s, func(%s int) int {\n", nm.iHi, nm.bound, nm.ov, nm.iLo, n.outer.idx)
+		if n.inner.shape == ShapeDo {
+			g.pf("\t\t%s := %s\n", nm.h, g.hiString(n.inner))
+			g.pf("\t\tif %s < %s+1 { // do-shaped: every row runs at least once\n", nm.h, nm.iLo)
+			g.pf("\t\t\t%s = %s + 1\n", nm.h, nm.iLo)
+			g.pf("\t\t}\n")
+			g.pf("\t\treturn %s\n", nm.h)
+		} else {
+			g.pf("\t\treturn %s\n", g.hiString(n.inner))
+		}
+		g.pf("\t})\n")
+		g.pf("\t%s = %s(%s, %s, %s)\n", nm.iv, nm.tree, nm.iLo, nm.iHi, nm.leafConst)
+		if n.inner.shape == ShapeDo {
+			g.pf("\t%s(%s, %s)\n", nm.mark, nm.iv, nm.iLo)
+		}
+	} else {
+		g.pf("\t%s, %s := %s, %s\n", nm.iLo, nm.iHi, g.loString(n.inner), g.hiString(n.inner))
+		if n.inner.shape == ShapeDo {
+			g.pf("\tif %s < %s+1 { // do-shaped: the inner body runs at least once\n", nm.iHi, nm.iLo)
+			g.pf("\t\t%s = %s + 1\n", nm.iHi, nm.iLo)
+			g.pf("\t}\n")
+		}
+		g.pf("\t%s = %s(%s, %s, %s)\n", nm.iv, nm.tree, nm.iLo, nm.iHi, nm.leafConst)
+	}
+	g.pf("\treturn %s, %s\n", nm.ov, nm.iv)
+	g.pf("}\n\n")
+}
+
+func (g *emitter) runFn() {
+	nm := g.nm
+	decl, fwd := g.params()
+	g.pf("// %s executes the nest through the generated recursion under the\n", nm.run)
+	g.pf("// Original schedule: same parameters as %s, same iterations,\n", g.fn.Name.Name)
+	g.pf("// same order.\n")
+	g.pf("func %s(%s) {\n", nm.run, decl)
+	g.pf("\t%s, %s := %s(%s)\n", nm.ov, nm.iv, nm.nest, fwd)
+	g.pf("\t%s(%s, %s)\n", nm.outer, nm.ov, nm.iv)
+	g.pf("}\n\n")
+}
+
+func (g *emitter) outerFn() {
+	nm := g.nm
+	g.pf("// %s is the outer half of the recursion pair: preorder descent over\n", nm.outer)
+	g.pf("// the outer range tree, visiting the whole inner tree at every node.\n")
+	g.pf("//\n")
+	if g.irregular {
+		g.pf("//twist:outer size=%s trunc=%s settrunc=%s\n", nm.size, nm.trunc, nm.setTrunc)
+	} else {
+		g.pf("//twist:outer size=%s\n", nm.size)
+	}
+	g.pf("func %s(%s *%s, %s *%s) {\n", nm.outer, nm.on, nm.node, nm.in, nm.node)
+	g.pf("\tif %s == nil {\n\t\treturn\n\t}\n", nm.on)
+	g.pf("\t%s(%s, %s)\n", nm.inner, nm.on, nm.in)
+	g.pf("\t%s(%s.left, %s)\n", nm.outer, nm.on, nm.in)
+	g.pf("\t%s(%s.right, %s)\n", nm.outer, nm.on, nm.in)
+	g.pf("}\n\n")
+}
+
+func (g *emitter) innerFn() {
+	n, nm := g.n, g.nm
+	g.pf("// %s is the inner half of the recursion pair: preorder descent over\n", nm.inner)
+	g.pf("// the inner range tree with the source body running at leaf×leaf pairs.\n")
+	g.pf("//\n")
+	g.pf("//twist:inner\n")
+	g.pf("func %s(%s *%s, %s *%s) {\n", nm.inner, nm.on, nm.node, nm.in, nm.node)
+	if g.irregular {
+		g.pf("\tif %s == nil || %s.lo >= %s.bmax {\n\t\treturn\n\t}\n", nm.in, nm.in, nm.on)
+	} else {
+		g.pf("\tif %s == nil {\n\t\treturn\n\t}\n", nm.in)
+	}
+	g.pf("\tif %s.left == nil && %s.left == nil {\n", nm.on, nm.in)
+	g.pf("\t\tfor %s := %s.lo; %s < %s.hi; %s++ {\n", n.outer.idx, nm.on, n.outer.idx, nm.on, n.outer.idx)
+	g.pf("\t\t\tfor %s := %s.lo; %s < %s.hi; %s++ {\n", n.inner.idx, nm.in, n.inner.idx, nm.in, n.inner.idx)
+	if g.irregular {
+		op := ">="
+		hi := maybeParens(g.fset, n.inner.hi)
+		if n.inner.incl {
+			op = ">"
+		}
+		switch n.inner.shape {
+		case ShapeDo:
+			g.pf("\t\t\t\tif %s %s %s && %s != %s.dlo {\n\t\t\t\t\tcontinue\n\t\t\t\t}\n", n.inner.idx, op, hi, n.inner.idx, nm.in)
+		default:
+			g.pf("\t\t\t\tif %s %s %s {\n\t\t\t\t\tcontinue\n\t\t\t\t}\n", n.inner.idx, op, hi)
+		}
+	}
+	for _, st := range n.inner.body {
+		g.pf("\t\t\t\t%s\n", render(g.fset, st))
+	}
+	g.pf("\t\t\t}\n")
+	g.pf("\t\t}\n")
+	g.pf("\t}\n")
+	g.pf("\t%s(%s, %s.left)\n", nm.inner, nm.on, nm.in)
+	g.pf("\t%s(%s, %s.right)\n", nm.inner, nm.on, nm.in)
+	g.pf("}\n")
+}

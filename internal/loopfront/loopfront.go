@@ -1,0 +1,255 @@
+// Package loopfront is the loop front door of the transformation pipeline:
+// a go/ast source-to-source pass that converts plain Go loop nests into the
+// nested-recursion template of paper §5, so that imperative code reaches
+// recursion interchange, twisting, the schedule algebra, and the serving
+// fleet without being rewritten by hand.
+//
+// The conversion follows Insa & Silva, "Transforming while/do/for/
+// foreach-Loops into Recursive Methods" (PAPERS.md): each recognized loop
+// level becomes a recursive descent, here over a balanced binary *range
+// tree* of half-open index spans, with the loop body executing at leaf×leaf
+// span pairs. Section 7.2 of the source paper is the payoff: twisting a
+// loop-derived recursion is parameterless multi-level loop tiling, so a
+// plain `for o { for i { work } }` nest gains the paper's locality
+// transformations for free once it is in template form.
+//
+// # Recognized input
+//
+// A function opts in with a `//twist:loops` directive:
+//
+//	//twist:loops leafrun=8
+//	func kernel(n, m int) {
+//		for o := 0; o < n; o++ {
+//			for i := 0; i < m; i++ {
+//				visit(o, i)
+//			}
+//		}
+//	}
+//
+// Each top-level loop in such a function must be a perfectly nested pair of
+// integer loops in one of the canonical shapes Insa & Silva handle:
+//
+//   - counted: `for i := lo; i < hi; i++` (also `<=`, and `i += 1`)
+//   - while:   `i := lo` followed by `for i < hi { body; i++ }`
+//   - do:      `i := lo` followed by `for { body; i++; if i >= hi { break } }`
+//     (the body runs at least once, like do/while)
+//   - range:   `for i := range n` (Go 1.22 integer range)
+//
+// The inner loop's body is arbitrary Go, embedded verbatim, subject to the
+// restrictions below. The inner lower bound must not depend on the outer
+// index; the inner *upper* bound may — that is the paper's irregular
+// iteration space, and the pass then emits the Fig 6(b) truncation-flag
+// machinery (per-span bound maxima and flag accessors) so that interchange
+// and twisting stay legal.
+//
+// Unsupported forms are rejected with positional diagnostics
+// (`loopfront: file:line:col: message`), never silently mis-translated:
+// imperfect nests, non-canonical headers, `break`/`goto`/`return`/`defer`/
+// labels inside the body, writes to the loop indices, outer-dependent lower
+// bounds, and references to function-local state declared outside the nest
+// (hoist those to package level; the generated recursion lives in new
+// top-level functions and cannot see them). Index variables are assumed to
+// be `int`, and bound expressions must be pure — they are re-evaluated by
+// the generated code.
+//
+// # Generated output
+//
+// For a nest named kernel the pass emits one self-contained Go file (same
+// package as the source) holding the range-tree node type, a balanced tree
+// builder, the subtree-size helper named by the `size=` directive option,
+// the `//twist:outer`/`//twist:inner` recursion pair, and two entry points:
+// kernelNest (evaluates the source bounds and builds the two trees) and
+// kernelRun (same parameters as the source function; visits exactly the
+// source loop's iterations in exactly its order). The file round-trips
+// transform.ParseFile unmodified — gen.go re-parses it as a gate — so
+// cmd/twist, the schedule algebra, and twistd's `frontend: "loops"` axis can
+// chain on it directly.
+package loopfront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Shape names the source form of one recognized loop level.
+type Shape string
+
+// The four canonical loop shapes of Insa & Silva's conversion.
+const (
+	ShapeFor   Shape = "for"   // counted: for i := lo; i < hi; i++
+	ShapeWhile Shape = "while" // i := lo; for i < hi { ...; i++ }
+	ShapeDo    Shape = "do"    // i := lo; for { ...; i++; if i >= hi { break } }
+	ShapeRange Shape = "range" // for i := range n
+)
+
+// Unit is one converted loop nest: the recognized facts plus the generated
+// template file.
+type Unit struct {
+	// Name is the nest name (directive option `name=`, default the function
+	// name), the prefix of every generated identifier.
+	Name string
+	// Func is the annotated source function holding the nest.
+	Func string
+	// Pkg is the package name of the source file (and the generated file).
+	Pkg string
+
+	// OuterIdx and InnerIdx are the source index variable names.
+	OuterIdx, InnerIdx string
+	// OuterShape and InnerShape are the recognized loop shapes.
+	OuterShape, InnerShape Shape
+	// Bounds of the two levels as written (upper bounds exclusive as
+	// rendered; `<=` sources are rendered with a +1 wrap). For an irregular
+	// nest InnerHi is the outer-dependent row bound expression.
+	OuterLo, OuterHi, InnerLo, InnerHi string
+	// Irregular reports an outer-dependent inner upper bound (paper §4).
+	Irregular bool
+	// LeafRun is the consecutive-iteration count under one inner leaf
+	// (directive option `leafrun=`, default 1). The outer tree always uses
+	// single-iteration leaves so the Original schedule is the source order.
+	LeafRun int
+	// Pos is the source position of the nest's outer loop.
+	Pos token.Position
+
+	// Generated identifier names.
+	NodeType, NestFn, RunFn, OuterFn, InnerFn string
+	SizeFn, TruncFn, SetTruncFn               string
+
+	// Source is the generated template file; it parses with
+	// transform.ParseFile unmodified.
+	Source []byte
+}
+
+// errf formats a positional diagnostic.
+func errf(fset *token.FileSet, pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("loopfront: %s: %s", fset.Position(pos), fmt.Sprintf(format, args...))
+}
+
+// directive is the parsed //twist:loops comment of one function.
+type directive struct {
+	name    string
+	leafRun int
+	pos     token.Pos
+}
+
+// maxLeafRun bounds the leafrun= option; beyond this the inner tree is a
+// single leaf for any realistic range and tiling is meaningless.
+const maxLeafRun = 1 << 16
+
+// parseLoopsDirective extracts a //twist:loops directive from a doc comment.
+func parseLoopsDirective(fset *token.FileSet, doc *ast.CommentGroup) (*directive, error) {
+	if doc == nil {
+		return nil, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, "twist:loops") {
+			continue
+		}
+		rest := strings.TrimPrefix(text, "twist:loops")
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			continue // e.g. //twist:loopsmash — not ours
+		}
+		d := &directive{leafRun: 1, pos: c.Pos()}
+		for _, f := range strings.Fields(rest) {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, errf(fset, c.Pos(), "malformed //twist:loops option %q (want key=value)", f)
+			}
+			switch k {
+			case "name":
+				if !token.IsIdentifier(v) {
+					return nil, errf(fset, c.Pos(), "//twist:loops name=%q is not a valid identifier", v)
+				}
+				d.name = v
+			case "leafrun":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 || n > maxLeafRun {
+					return nil, errf(fset, c.Pos(), "//twist:loops leafrun=%q must be an integer in 1..%d", v, maxLeafRun)
+				}
+				d.leafRun = n
+			default:
+				return nil, errf(fset, c.Pos(), "unknown //twist:loops option %q", k)
+			}
+		}
+		return d, nil
+	}
+	return nil, nil
+}
+
+// File converts every //twist:loops function in src, returning one Unit per
+// recognized nest (a function holding several top-level nests yields several
+// units, suffixed name2, name3, ...). It is an error if the file has no
+// //twist:loops function, or if any annotated loop fails to convert.
+func File(filename string, src []byte) ([]*Unit, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("loopfront: %v", err)
+	}
+	var units []*Unit
+	seen := map[string]token.Pos{}
+	annotated := 0
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		d, err := parseLoopsDirective(fset, fn.Doc)
+		if err != nil {
+			return nil, err
+		}
+		if d == nil {
+			continue
+		}
+		annotated++
+		us, err := convertFunc(fset, file, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range us {
+			if prev, dup := seen[u.Name]; dup {
+				return nil, errf(fset, fn.Pos(), "nest name %q already used at %s; disambiguate with //twist:loops name=",
+					u.Name, fset.Position(prev))
+			}
+			seen[u.Name] = fn.Pos()
+			units = append(units, u)
+		}
+	}
+	if annotated == 0 {
+		return nil, fmt.Errorf("loopfront: %s: no //twist:loops functions", filename)
+	}
+	return units, nil
+}
+
+// Single is File restricted to one nest: with name == "" the file must hold
+// exactly one nest; otherwise the nest with that name is selected.
+func Single(filename string, src []byte, name string) (*Unit, error) {
+	units, err := File(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		if len(units) != 1 {
+			return nil, fmt.Errorf("loopfront: %s holds %d nests (%s); select one by name", filename, len(units), nestNames(units))
+		}
+		return units[0], nil
+	}
+	for _, u := range units {
+		if u.Name == name {
+			return u, nil
+		}
+	}
+	return nil, fmt.Errorf("loopfront: %s has no nest %q (have %s)", filename, name, nestNames(units))
+}
+
+func nestNames(units []*Unit) string {
+	names := make([]string, len(units))
+	for i, u := range units {
+		names[i] = u.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,577 @@
+package loopfront
+
+import (
+	"strings"
+	"testing"
+
+	"twist/internal/transform"
+)
+
+// wrap builds a minimal source file around a //twist:loops function body;
+// label becomes a doc-comment line above the directive.
+func wrap(label, sig, body string) []byte {
+	return []byte(`package p
+
+var visit func(o, i int)
+
+func bnd(o int) int { return o * 2 }
+
+// ` + label + `
+//twist:loops
+func ` + sig + ` {
+` + body + `
+}
+`)
+}
+
+const rectBody = `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`
+
+func TestConvertRect(t *testing.T) {
+	src := wrap("rect", "kernel(n, m int)", rectBody)
+	units, err := File("input.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	u := units[0]
+	if u.Name != "kernel" || u.Func != "kernel" || u.Pkg != "p" {
+		t.Errorf("unit identity = %q/%q/%q", u.Name, u.Func, u.Pkg)
+	}
+	if u.OuterShape != ShapeFor || u.InnerShape != ShapeFor {
+		t.Errorf("shapes = %s/%s, want for/for", u.OuterShape, u.InnerShape)
+	}
+	if u.Irregular {
+		t.Error("rectangular nest classified irregular")
+	}
+	if u.OuterIdx != "o" || u.InnerIdx != "i" {
+		t.Errorf("indices = %s/%s", u.OuterIdx, u.InnerIdx)
+	}
+	if u.OuterLo != "0" || u.OuterHi != "n" || u.InnerLo != "0" || u.InnerHi != "m" {
+		t.Errorf("bounds = [%s,%s) [%s,%s)", u.OuterLo, u.OuterHi, u.InnerLo, u.InnerHi)
+	}
+	if u.LeafRun != 1 {
+		t.Errorf("LeafRun = %d, want 1", u.LeafRun)
+	}
+
+	// The tentpole contract: the emitted template chains into the existing
+	// transformer without modification.
+	tmpl, err := transform.ParseFile("kernel_template.go", u.Source)
+	if err != nil {
+		t.Fatalf("generated template rejected by transform.ParseFile: %v\n%s", err, u.Source)
+	}
+	if tmpl.Irregular() {
+		t.Error("template irregular, recognizer said regular")
+	}
+	if _, err := transform.Generate(tmpl); err != nil {
+		t.Fatalf("transform.Generate on the template: %v", err)
+	}
+	for _, want := range []string{"kernelNode", "kernelTree", "kernelSize", "kernelNest", "kernelRun", "//twist:outer size=kernelSize", "//twist:inner", "DO NOT EDIT"} {
+		if !strings.Contains(string(u.Source), want) {
+			t.Errorf("generated template missing %q", want)
+		}
+	}
+}
+
+func TestConvertIrregular(t *testing.T) {
+	cases := []struct {
+		name string
+		sig  string
+		body string
+		do   bool
+	}{
+		{"triangular-for", "tri(n int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < o; i++ {
+			visit(o, i)
+		}
+	}`, false},
+		{"call-bound-while", "tri(n int)", `	for o := 0; o < n; o++ {
+		i := 0
+		for i < bnd(o) {
+			visit(o, i)
+			i++
+		}
+	}`, false},
+		{"do-inner", "tri(n int)", `	for o := 0; o < n; o++ {
+		i := 0
+		for {
+			visit(o, i)
+			i++
+			if i >= o {
+				break
+			}
+		}
+	}`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := Single("input.go", wrap(tc.name, tc.sig, tc.body), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !u.Irregular {
+				t.Fatal("outer-dependent inner bound not classified irregular")
+			}
+			tmpl, err := transform.ParseFile("tri_template.go", u.Source)
+			if err != nil {
+				t.Fatalf("template rejected: %v\n%s", err, u.Source)
+			}
+			if !tmpl.Irregular() {
+				t.Error("template regular, recognizer said irregular")
+			}
+			if _, err := transform.Generate(tmpl); err != nil {
+				t.Fatalf("transform.Generate: %v", err)
+			}
+			for _, want := range []string{"triBound", "triTrunc", "triSetTrunc", "trunc=triTrunc settrunc=triSetTrunc"} {
+				if !strings.Contains(string(u.Source), want) {
+					t.Errorf("irregular template missing %q", want)
+				}
+			}
+			if tc.do && !strings.Contains(string(u.Source), "triMark") {
+				t.Error("do-shaped irregular template missing the dlo marker")
+			}
+		})
+	}
+}
+
+func TestConvertShapes(t *testing.T) {
+	cases := []struct {
+		name         string
+		body         string
+		outer, inner Shape
+	}{
+		{"while-while", `	o := 2
+	for o < n {
+		i := 1
+		for i < m {
+			visit(o, i)
+			i++
+		}
+		o++
+	}`, ShapeWhile, ShapeWhile},
+		{"do-do", `	o := 0
+	for {
+		i := 0
+		for {
+			visit(o, i)
+			i++
+			if i >= m {
+				break
+			}
+		}
+		o++
+		if o >= n {
+			break
+		}
+	}`, ShapeDo, ShapeDo},
+		{"range-range", `	for o := range n {
+		for i := range m {
+			visit(o, i)
+		}
+	}`, ShapeRange, ShapeRange},
+		{"incl-for", `	for o := 1; o <= n; o++ {
+		for i := 1; i <= m; i++ {
+			visit(o, i)
+		}
+	}`, ShapeFor, ShapeFor},
+		{"plus-assign", `	for o := 0; o < n; o += 1 {
+		for i := 0; i < m; i += 1 {
+			visit(o, i)
+		}
+	}`, ShapeFor, ShapeFor},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := Single("input.go", wrap(tc.name, "kernel(n, m int)", tc.body), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u.OuterShape != tc.outer || u.InnerShape != tc.inner {
+				t.Errorf("shapes = %s/%s, want %s/%s", u.OuterShape, u.InnerShape, tc.outer, tc.inner)
+			}
+			if u.Irregular {
+				t.Error("rectangular nest classified irregular")
+			}
+			if _, err := transform.ParseFile("kernel_template.go", u.Source); err != nil {
+				t.Fatalf("template rejected: %v\n%s", err, u.Source)
+			}
+			if tc.name == "incl-for" {
+				if u.OuterHi != "n+1" || u.InnerHi != "m+1" {
+					t.Errorf("inclusive bounds rendered as [%s] [%s], want n+1/m+1", u.OuterHi, u.InnerHi)
+				}
+			}
+		})
+	}
+}
+
+// TestReject is the diagnostics table: every unsupported form must fail
+// with a positional loopfront error naming the problem.
+func TestReject(t *testing.T) {
+	cases := []struct {
+		name string
+		sig  string
+		body string
+		want string
+	}{
+		{"imperfect-nest", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		visit(o, 0)
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "perfect nest"},
+		{"no-loops", "kernel(n int)", `	visit(n, n)`, "holds no loops"},
+		{"single-level", "kernel(n int)", `	for o := 0; o < n; o++ {
+		visit(o, o)
+	}`, "outer loop body must be exactly the inner loop"},
+		{"decreasing", "kernel(n, m int)", `	for o := n; o > 0; o-- {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "loop condition must be"},
+		{"weird-post", "kernel(n, m int)", `	for o := 0; o < n; o += 2 {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "post statement must be"},
+		{"break-in-body", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			if i > o {
+				break
+			}
+			visit(o, i)
+		}
+	}`, "break out of the converted loop"},
+		{"return-in-body", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			if i > o {
+				return
+			}
+			visit(o, i)
+		}
+	}`, "return inside the nest body"},
+		{"goto-in-body", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			goto done
+		}
+	}
+done:`, "goto inside the nest body"},
+		{"defer-in-body", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			defer visit(o, i)
+		}
+	}`, "defer inside the nest body"},
+		{"index-write", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			i = i + 1
+		}
+	}`, "assignment to the loop index"},
+		{"index-incdec", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			o++
+		}
+	}`, "update of the loop index"},
+		{"index-addr", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(*&i, o)
+		}
+	}`, "taking the address of the loop index"},
+		{"irregular-lo", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := o; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "inner lower bound depends on the outer index"},
+		{"bound-uses-inner-idx", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < i+m; i++ {
+			visit(o, i)
+		}
+	}`, "inner upper bound references the inner index"},
+		{"captured-local", "kernel(n, m int)", `	acc := 0
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			acc += o * i
+		}
+	}`, "hoist it to package level"},
+		{"captured-bound", "kernel(n int)", `	m := n * 2
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "hoist it to package level"},
+		{"same-index", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for o := 0; o < m; o++ {
+			visit(o, o)
+		}
+	}`, "reuses the outer index name"},
+		{"while-no-init", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i < m {
+			visit(o, i)
+			i++
+		}
+	}`, "needs a preceding"},
+		{"while-no-increment", "kernel(n, m int)", `	o := 0
+	for o < n {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}`, "must end with `o++`"},
+		{"while-continue", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		i := 0
+		for i < m {
+			if i == 3 {
+				continue
+			}
+			visit(o, i)
+			i++
+		}
+	}`, "skips the `i++` tail"},
+		{"range-value", "kernel(vs []int)", `	for o := 0; o < len(vs); o++ {
+		for i, v := range vs {
+			visit(o, i+v)
+		}
+	}`, "must take only an index"},
+		{"range-blank", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for _ = range m {
+			visit(o, 0)
+		}
+	}`, "range loop must declare its index"},
+		{"labeled-break", "kernel(n, m int)", `outer:
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			if i > o {
+				break outer
+			}
+		}
+	}`, "labeled loops are not supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := File("input.go", wrap(tc.name, tc.sig, tc.body))
+			if err == nil {
+				t.Fatal("conversion unexpectedly succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "loopfront: input.go:") {
+				t.Errorf("error %q lacks a positional input.go prefix", err)
+			}
+		})
+	}
+}
+
+func TestRejectFunctionForms(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"method", `package p
+
+type T struct{}
+
+//twist:loops
+func (T) kernel(n int) {}
+`, "methods are not supported"},
+		{"generic", `package p
+
+//twist:loops
+func kernel[T any](n int) {}
+`, "type parameters are not supported"},
+		{"unnamed-param", `package p
+
+//twist:loops
+func kernel(int) {}
+`, "parameters must be named"},
+		{"variadic", `package p
+
+//twist:loops
+func kernel(ns ...int) {}
+`, "variadic parameters are not supported"},
+		{"no-directive", `package p
+
+func kernel(n int) {}
+`, "no //twist:loops functions"},
+		{"bad-option", `package p
+
+//twist:loops leafrun=zero
+func kernel(n int) {}
+`, "leafrun"},
+		{"unknown-option", `package p
+
+//twist:loops tile=8
+func kernel(n int) {}
+`, "unknown //twist:loops option"},
+		{"bad-name-option", `package p
+
+//twist:loops name=2fast
+func kernel(n int) {}
+`, "not a valid identifier"},
+		{"syntax-error", "package p\nfunc {", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := File("input.go", []byte(tc.src))
+			if err == nil {
+				t.Fatal("conversion unexpectedly succeeded")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDirectiveOptions(t *testing.T) {
+	src := []byte(`package p
+
+var visit func(o, i int)
+
+//twist:loops name=tile leafrun=8
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}
+}
+`)
+	u, err := Single("input.go", src, "tile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "tile" || u.LeafRun != 8 {
+		t.Errorf("name/leafrun = %q/%d, want tile/8", u.Name, u.LeafRun)
+	}
+	if !strings.Contains(string(u.Source), "const tileLeafRun = 8") {
+		t.Error("leafrun option not reflected in the generated constant")
+	}
+	if _, err := Single("input.go", src, "nosuch"); err == nil || !strings.Contains(err.Error(), `no nest "nosuch"`) {
+		t.Errorf("selecting a missing nest: %v", err)
+	}
+}
+
+func TestMultipleNests(t *testing.T) {
+	src := []byte(`package p
+
+var visit func(o, i int)
+
+//twist:loops
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}
+	for o := 0; o < m; o++ {
+		for i := 0; i < n; i++ {
+			visit(i, o)
+		}
+	}
+}
+`)
+	units, err := File("input.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 || units[0].Name != "kernel" || units[1].Name != "kernel2" {
+		t.Fatalf("multi-nest names: %v", nestNames(units))
+	}
+	for _, u := range units {
+		if _, err := transform.ParseFile(u.Name+"_template.go", u.Source); err != nil {
+			t.Errorf("nest %s template rejected: %v", u.Name, err)
+		}
+	}
+	if _, err := Single("input.go", src, ""); err == nil || !strings.Contains(err.Error(), "select one by name") {
+		t.Errorf("Single on a multi-nest file: %v", err)
+	}
+}
+
+func TestNameCollision(t *testing.T) {
+	src := []byte(`package p
+
+var visit func(o, i int)
+
+func kernelNode() {}
+
+//twist:loops
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}
+}
+`)
+	_, err := File("input.go", src)
+	if err == nil || !strings.Contains(err.Error(), "collides with an existing name") {
+		t.Errorf("collision not diagnosed: %v", err)
+	}
+}
+
+// TestParamNamesAvoidBody: a body using the default recursion parameter
+// names must push the generator to fresh ones.
+func TestParamNamesAvoidBody(t *testing.T) {
+	src := []byte(`package p
+
+var sink func(o, i, on, in int)
+
+var on, in int
+
+//twist:loops
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			sink(o, i, on, in)
+		}
+	}
+}
+`)
+	u, err := Single("input.go", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := transform.ParseFile("kernel_template.go", u.Source)
+	if err != nil {
+		t.Fatalf("template rejected: %v\n%s", err, u.Source)
+	}
+	if tmpl.OName == "on" || tmpl.IName == "in" {
+		t.Errorf("recursion parameters %s/%s shadow package identifiers used by the body", tmpl.OName, tmpl.IName)
+	}
+}
+
+func TestNakedContinueAllowedInCountedLoops(t *testing.T) {
+	src := wrap("cont", "kernel(n, m int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			if i == o {
+				continue
+			}
+			visit(o, i)
+		}
+	}`)
+	u, err := Single("input.go", src, "")
+	if err != nil {
+		t.Fatalf("naked continue in a counted loop must be preserved, got: %v", err)
+	}
+	if !strings.Contains(string(u.Source), "continue") {
+		t.Error("continue statement lost from the embedded body")
+	}
+}
+
+func TestNestedLoopInBodyAllowed(t *testing.T) {
+	src := wrap("third", "kernel(n, m, k int)", `	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				if j > i {
+					break
+				}
+				visit(o, i+j)
+			}
+		}
+	}`)
+	if _, err := Single("input.go", src, ""); err != nil {
+		t.Fatalf("third-level loop inside the body must embed verbatim, got: %v", err)
+	}
+}

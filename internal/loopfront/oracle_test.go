@@ -1,0 +1,279 @@
+package loopfront
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"twist/internal/oracle"
+	"twist/internal/transform"
+	"twist/internal/tree"
+)
+
+// The front-end's acceptance bar (ISSUE 10): for every corpus loop nest the
+// generated recursion under the Original schedule must visit *exactly* the
+// source loop's iteration order — element-wise, not as a multiset — and the
+// interchanged/twisted/cutoff schedules generated downstream must be
+// permutation-equivalent per the oracle's verdict (multiset + per-column
+// order). Both properties are checked out of process: the source function,
+// the emitted template, and cmd/twist's generated variants are compiled
+// into one child program whose printed visit sections are compared here.
+
+const (
+	harnessOuterN = 13
+	harnessInnerN = 9
+)
+
+// oracleCorpus is one loop-nest source plus how to invoke it. Sources are
+// package main fragments sharing the `visit` hook; NO/NI are substituted
+// with the harness extents.
+var oracleCorpus = []struct {
+	name string
+	src  string
+	args string // argument list for the source function / entry points
+}{
+	{"counted-rect", `
+//twist:loops
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}
+}
+`, "NO, NI"},
+	{"while-while", `
+//twist:loops leafrun=2
+func kernel(n, m int) {
+	o := 2
+	for o < n {
+		i := 1
+		for i < m {
+			visit(o, i)
+			i++
+		}
+		o++
+	}
+}
+`, "NO, NI"},
+	{"do-do", `
+//twist:loops
+func kernel(n, m int) {
+	o := 0
+	for {
+		i := 0
+		for {
+			visit(o, i)
+			i++
+			if i >= m {
+				break
+			}
+		}
+		o++
+		if o >= n {
+			break
+		}
+	}
+}
+`, "NO, NI"},
+	{"range-range", `
+//twist:loops leafrun=4
+func kernel(n, m int) {
+	for o := range n {
+		for i := range m {
+			visit(o, i)
+		}
+	}
+}
+`, "NO, NI"},
+	{"inclusive-bounds", `
+//twist:loops
+func kernel(n, m int) {
+	for o := 1; o <= n; o++ {
+		for i := 1; i <= m; i++ {
+			visit(o, i)
+		}
+	}
+}
+`, "NO, NI"},
+	{"triangular", `
+//twist:loops
+func kernel(n int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < o; i++ {
+			visit(o, i)
+		}
+	}
+}
+`, "NO"},
+	{"nonmonotone-bound", `
+func rowBound(o int) int { return (o * 7) % NI }
+
+//twist:loops leafrun=4
+func kernel(n int) {
+	for o := 0; o < n; o++ {
+		i := 0
+		for i < rowBound(o) {
+			visit(o, i)
+			i++
+		}
+	}
+}
+`, "NO"},
+	{"irregular-do", `
+//twist:loops
+func kernel(n int) {
+	for o := 0; o < n; o++ {
+		i := 0
+		for {
+			visit(o, i)
+			i++
+			if i >= o-2 {
+				break
+			}
+		}
+	}
+}
+`, "NO"},
+	{"body-continue", `
+//twist:loops leafrun=2
+func kernel(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			if (o+i)%3 == 0 {
+				continue
+			}
+			visit(o, i)
+		}
+	}
+}
+`, "NO, NI"},
+}
+
+// runLoopHarness converts src, generates the downstream variants, compiles
+// everything with a driver into a temp module, and returns the printed
+// visit sections.
+func runLoopHarness(t *testing.T, src, args string) map[string][]oracle.Visit {
+	t.Helper()
+	sub := strings.NewReplacer(
+		"NO", strconv.Itoa(harnessOuterN),
+		"NI", strconv.Itoa(harnessInnerN),
+	)
+	full := "package main\n\nvar visit func(o, i int)\n" + sub.Replace(src)
+	u, err := Single("input.go", []byte(full), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := transform.ParseFile(u.Name+"_template.go", u.Source)
+	if err != nil {
+		t.Fatalf("template rejected: %v\n%s", err, u.Source)
+	}
+	gen, err := transform.Generate(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	callArgs := sub.Replace(args)
+	driver := fmt.Sprintf(`package main
+
+import "fmt"
+
+func main() {
+	visit = func(o, i int) { fmt.Printf("v %%d %%d\n", o, i) }
+	sec := func(name string, f func()) { fmt.Println("==", name); f() }
+	sec("source", func() { %[1]s(%[2]s) })
+	sec("original", func() { %[3]s(%[2]s) })
+	sec("interchanged", func() { o, i := %[4]s(%[2]s); %[5]sSwapped(o, i) })
+	sec("twisted", func() { o, i := %[4]s(%[2]s); %[5]sTwisted(o, i) })
+	sec("cutoff", func() { o, i := %[4]s(%[2]s); %[5]sTwistedCutoff(o, i, 3) })
+}
+`, u.Func, callArgs, u.RunFn, u.NestFn, u.OuterFn)
+
+	dir := t.TempDir()
+	for name, data := range map[string]string{
+		"go.mod":      "module loopfrontharness\n\ngo 1.22\n",
+		"src.go":      full,
+		"template.go": string(u.Source),
+		"gen.go":      string(gen),
+		"main.go":     driver,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+
+	sections := make(map[string][]oracle.Visit)
+	var cur string
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 2 && fields[0] == "==":
+			cur = fields[1]
+			sections[cur] = nil
+		case len(fields) == 3 && fields[0] == "v":
+			o, err1 := strconv.Atoi(fields[1])
+			i, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || cur == "" {
+				t.Fatalf("malformed harness output line %q", line)
+			}
+			sections[cur] = append(sections[cur], oracle.Visit{O: tree.NodeID(o), I: tree.NodeID(i)})
+		case len(fields) != 0:
+			t.Fatalf("unexpected harness output line %q", line)
+		}
+	}
+	return sections
+}
+
+func TestLoopNestsPassOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a child Go program")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go binary not available")
+	}
+	for _, tc := range oracleCorpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sections := runLoopHarness(t, tc.src, tc.args)
+			source := sections["source"]
+			if len(source) == 0 {
+				t.Fatal("empty source section")
+			}
+
+			// Original must be byte-identical in iteration order.
+			orig := sections["original"]
+			if len(orig) != len(source) {
+				t.Fatalf("original visits %d iterations, source %d", len(orig), len(source))
+			}
+			for k := range source {
+				if orig[k] != source[k] {
+					t.Fatalf("original diverges from the source loop at visit %d: %v vs %v", k, orig[k], source[k])
+				}
+			}
+
+			// Transformed schedules must be legal permutations.
+			golden := oracle.FromSequence(source)
+			for _, name := range []string{"interchanged", "twisted", "cutoff"} {
+				seq, ok := sections[name]
+				if !ok {
+					t.Fatalf("missing harness section %q", name)
+				}
+				if v := golden.CheckSequence("loops "+name, seq); !v.OK {
+					t.Error(v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,634 @@
+package loopfront
+
+// Recognition: assemble the perfectly-nested loop pairs of a //twist:loops
+// function, classify each level's shape, and enforce the restrictions that
+// keep the verbatim-embedded body semantically identical inside the
+// generated recursion. Everything here is syntactic — no go/types — so the
+// diagnostics name the expected canonical forms rather than inferred types.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// loop is one recognized loop level with its control tail stripped.
+type loop struct {
+	shape Shape
+	idx   string
+	lo    ast.Expr // nil for range (implicit 0)
+	hi    ast.Expr
+	incl  bool // `<=` header: iteration space [lo, hi] inclusive
+	body  []ast.Stmt
+	pos   token.Pos // the for/range keyword
+}
+
+// loNest is one assembled outer/inner pair plus the fn-body statements it
+// consumed (the loops and any while/do init statements).
+type loNest struct {
+	outer, inner *loop
+	consumed     map[ast.Stmt]bool
+}
+
+// convertFunc assembles and converts every top-level nest of an annotated
+// function.
+func convertFunc(fset *token.FileSet, file *ast.File, fn *ast.FuncDecl, d *directive) ([]*Unit, error) {
+	if fn.Recv != nil {
+		return nil, errf(fset, fn.Pos(), "//twist:loops on method %s: methods are not supported; use a plain function", fn.Name.Name)
+	}
+	if fn.Type.TypeParams != nil {
+		return nil, errf(fset, fn.Pos(), "//twist:loops on generic function %s: type parameters are not supported", fn.Name.Name)
+	}
+	if fn.Body == nil {
+		return nil, errf(fset, fn.Pos(), "//twist:loops function %s has no body", fn.Name.Name)
+	}
+	for _, f := range fn.Type.Params.List {
+		if len(f.Names) == 0 {
+			return nil, errf(fset, f.Pos(), "%s: parameters must be named (the generated entry points forward them)", fn.Name.Name)
+		}
+		for _, nm := range f.Names {
+			if nm.Name == "_" {
+				return nil, errf(fset, nm.Pos(), "%s: blank parameter; parameters must be named", fn.Name.Name)
+			}
+		}
+		if _, variadic := f.Type.(*ast.Ellipsis); variadic {
+			return nil, errf(fset, f.Pos(), "%s: variadic parameters are not supported", fn.Name.Name)
+		}
+	}
+
+	nests, err := assembleNests(fset, fn)
+	if err != nil {
+		return nil, err
+	}
+	if len(nests) == 0 {
+		return nil, errf(fset, fn.Pos(), "//twist:loops function %s holds no loops", fn.Name.Name)
+	}
+
+	base := d.name
+	if base == "" {
+		base = fn.Name.Name
+	}
+	var units []*Unit
+	for k, n := range nests {
+		name := base
+		if k > 0 {
+			name = fmt.Sprintf("%s%d", base, k+1)
+		}
+		u, err := convertNest(fset, file, fn, n, name, d.leafRun)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// assembleNests scans the function's top-level statements for loop pairs.
+// Every top-level loop must form a recognizable nest; other statements are
+// left alone (but see the capture analysis — the nest body may not use names
+// they declare).
+func assembleNests(fset *token.FileSet, fn *ast.FuncDecl) ([]*loNest, error) {
+	list := fn.Body.List
+	var nests []*loNest
+	for k, st := range list {
+		if lab, ok := st.(*ast.LabeledStmt); ok && isLoopStart(lab.Stmt) {
+			return nil, errf(fset, lab.Pos(), "labeled loops are not supported (the recursion has no label to break to)")
+		}
+		if !isLoopStart(st) {
+			continue
+		}
+		outer, usedPrev, err := loopAt(fset, list, k)
+		if err != nil {
+			return nil, err
+		}
+		n := &loNest{outer: outer, consumed: map[ast.Stmt]bool{st: true}}
+		if usedPrev {
+			if k == 0 {
+				return nil, errf(fset, st.Pos(), "while/do loop needs a preceding `%s := <lo>` statement", outer.idx)
+			}
+			n.consumed[list[k-1]] = true
+		}
+		inner, err := innerLoop(fset, outer)
+		if err != nil {
+			return nil, err
+		}
+		n.inner = inner
+		nests = append(nests, n)
+	}
+	return nests, nil
+}
+
+func isLoopStart(st ast.Stmt) bool {
+	switch st.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// innerLoop recognizes the inner level inside the outer loop's stripped
+// body: exactly the inner loop construct (one statement, or init + for for
+// the while/do shapes) — a perfect nest.
+func innerLoop(fset *token.FileSet, outer *loop) (*loop, error) {
+	body := outer.body
+	switch len(body) {
+	case 0:
+		return nil, errf(fset, outer.pos, "outer loop body is empty; the template needs a nested pair")
+	case 1:
+		if !isLoopStart(body[0]) {
+			return nil, errf(fset, body[0].Pos(), "outer loop body must be exactly the inner loop (perfect nest); found a non-loop statement")
+		}
+		inner, usedPrev, err := loopAt(fset, body, 0)
+		if err != nil {
+			return nil, err
+		}
+		if usedPrev {
+			return nil, errf(fset, body[0].Pos(), "inner while/do loop needs a preceding `%s := <lo>` statement", inner.idx)
+		}
+		return inner, nil
+	case 2:
+		if !isLoopStart(body[1]) {
+			return nil, errf(fset, outer.pos, "outer loop body must be exactly the inner loop (perfect nest); found %d statements", len(body))
+		}
+		inner, usedPrev, err := loopAt(fset, body, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !usedPrev {
+			return nil, errf(fset, body[0].Pos(), "statement before the inner loop is not its init; the outer body must hold the inner loop alone (perfect nest)")
+		}
+		return inner, nil
+	default:
+		return nil, errf(fset, outer.pos, "outer loop body must be exactly the inner loop (perfect nest); found %d statements", len(body))
+	}
+}
+
+// loopAt recognizes the loop whose for/range statement is list[k]. The
+// while/do shapes keep their index in a preceding `idx := lo` statement;
+// usedPrev reports that list[k-1] was consumed as that init.
+func loopAt(fset *token.FileSet, list []ast.Stmt, k int) (lp *loop, usedPrev bool, err error) {
+	switch st := list[k].(type) {
+	case *ast.RangeStmt:
+		lp, err = rangeLoop(fset, st)
+		return lp, false, err
+	case *ast.ForStmt:
+		switch {
+		case st.Init != nil || st.Post != nil:
+			lp, err = countedLoop(fset, st)
+			return lp, false, err
+		case st.Cond != nil:
+			lp, err = whileLoop(fset, st, prevStmt(list, k))
+			return lp, true, err
+		default:
+			lp, err = doLoop(fset, st, prevStmt(list, k))
+			return lp, true, err
+		}
+	}
+	return nil, false, errf(fset, list[k].Pos(), "not a loop statement")
+}
+
+func prevStmt(list []ast.Stmt, k int) ast.Stmt {
+	if k == 0 {
+		return nil
+	}
+	return list[k-1]
+}
+
+// countedLoop recognizes `for i := lo; i < hi; i++ { body }` (and `<=`,
+// `i += 1`).
+func countedLoop(fset *token.FileSet, st *ast.ForStmt) (*loop, error) {
+	if st.Init == nil || st.Cond == nil || st.Post == nil {
+		return nil, errf(fset, st.Pos(), "unsupported loop header: want the counted form `for i := lo; i < hi; i++`")
+	}
+	idx, lo, ok := initDefine(st.Init)
+	if !ok {
+		return nil, errf(fset, st.Init.Pos(), "loop init must be `i := <lo>` with a single new variable")
+	}
+	hi, incl, ok := upperBound(st.Cond, idx)
+	if !ok {
+		return nil, errf(fset, st.Cond.Pos(), "loop condition must be `%s < <hi>` or `%s <= <hi>`", idx, idx)
+	}
+	if !isIncrement(st.Post, idx) {
+		return nil, errf(fset, st.Post.Pos(), "loop post statement must be `%s++` (or `%s += 1`)", idx, idx)
+	}
+	return &loop{shape: ShapeFor, idx: idx, lo: lo, hi: hi, incl: incl, body: st.Body.List, pos: st.Pos()}, nil
+}
+
+// whileLoop recognizes `i := lo` + `for i < hi { body; i++ }`.
+func whileLoop(fset *token.FileSet, st *ast.ForStmt, init ast.Stmt) (*loop, error) {
+	hi, incl, condIdx, ok := upperBoundAnyIdx(st.Cond)
+	if !ok {
+		return nil, errf(fset, st.Cond.Pos(), "while-shaped loop condition must be `i < <hi>` or `i <= <hi>`")
+	}
+	idx, lo, ok := initDefine(init)
+	if !ok || idx != condIdx {
+		return nil, errf(fset, st.Pos(), "while-shaped loop needs a preceding `%s := <lo>` statement", condIdx)
+	}
+	body := st.Body.List
+	if len(body) == 0 || !isIncrement(body[len(body)-1], idx) {
+		return nil, errf(fset, st.Pos(), "while-shaped loop body must end with `%s++`", idx)
+	}
+	return &loop{shape: ShapeWhile, idx: idx, lo: lo, hi: hi, incl: incl, body: body[:len(body)-1], pos: st.Pos()}, nil
+}
+
+// doLoop recognizes `i := lo` + `for { body; i++; if i >= hi { break } }`
+// — a do/while: the body runs at least once, so the iteration space is
+// [lo, max(hi, lo+1)).
+func doLoop(fset *token.FileSet, st *ast.ForStmt, init ast.Stmt) (*loop, error) {
+	body := st.Body.List
+	if len(body) < 2 {
+		return nil, errf(fset, st.Pos(), "do-shaped loop body must end with `i++; if i >= <hi> { break }`")
+	}
+	hi, idx, ok := breakGuard(body[len(body)-1])
+	if !ok {
+		return nil, errf(fset, body[len(body)-1].Pos(), "do-shaped loop must end with `if i >= <hi> { break }`")
+	}
+	if !isIncrement(body[len(body)-2], idx) {
+		return nil, errf(fset, body[len(body)-2].Pos(), "do-shaped loop needs `%s++` immediately before its break guard", idx)
+	}
+	initIdx, lo, ok := initDefine(init)
+	if !ok || initIdx != idx {
+		return nil, errf(fset, st.Pos(), "do-shaped loop needs a preceding `%s := <lo>` statement", idx)
+	}
+	return &loop{shape: ShapeDo, idx: idx, lo: lo, hi: hi, body: body[:len(body)-2], pos: st.Pos()}, nil
+}
+
+// rangeLoop recognizes `for i := range n` (Go 1.22 integer range; ranging
+// over slices or maps is not an integer iteration space — write a counted
+// loop).
+func rangeLoop(fset *token.FileSet, st *ast.RangeStmt) (*loop, error) {
+	if st.Tok != token.DEFINE {
+		return nil, errf(fset, st.Pos(), "range loop must declare its index (`for i := range ...`)")
+	}
+	key, ok := st.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil, errf(fset, st.Pos(), "range loop must name its index variable")
+	}
+	if st.Value != nil {
+		return nil, errf(fset, st.Value.Pos(), "range loop must take only an index (`for %s := range n` over an integer)", key.Name)
+	}
+	return &loop{shape: ShapeRange, idx: key.Name, lo: nil, hi: st.X, body: st.Body.List, pos: st.Pos()}, nil
+}
+
+// initDefine matches `i := lo`.
+func initDefine(st ast.Stmt) (idx string, lo ast.Expr, ok bool) {
+	as, isAssign := st.(*ast.AssignStmt)
+	if !isAssign || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", nil, false
+	}
+	id, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return "", nil, false
+	}
+	return id.Name, as.Rhs[0], true
+}
+
+// upperBound matches `idx < hi` / `idx <= hi` for a known index.
+func upperBound(cond ast.Expr, idx string) (hi ast.Expr, incl, ok bool) {
+	hi, incl, condIdx, ok := upperBoundAnyIdx(cond)
+	if !ok || condIdx != idx {
+		return nil, false, false
+	}
+	return hi, incl, true
+}
+
+// upperBoundAnyIdx matches `i < hi` / `i <= hi`, reporting which identifier
+// is compared.
+func upperBoundAnyIdx(cond ast.Expr) (hi ast.Expr, incl bool, idx string, ok bool) {
+	b, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || (b.Op != token.LSS && b.Op != token.LEQ) {
+		return nil, false, "", false
+	}
+	id, isIdent := b.X.(*ast.Ident)
+	if !isIdent {
+		return nil, false, "", false
+	}
+	return b.Y, b.Op == token.LEQ, id.Name, true
+}
+
+// isIncrement matches `i++` or `i += 1`.
+func isIncrement(st ast.Stmt, idx string) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		id, ok := s.X.(*ast.Ident)
+		return ok && s.Tok == token.INC && id.Name == idx
+	case *ast.AssignStmt:
+		if s.Tok != token.ADD_ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok || id.Name != idx {
+			return false
+		}
+		lit, ok := s.Rhs[0].(*ast.BasicLit)
+		return ok && lit.Kind == token.INT && lit.Value == "1"
+	}
+	return false
+}
+
+// breakGuard matches `if i >= hi { break }` (no init, no else, naked break).
+func breakGuard(st ast.Stmt) (hi ast.Expr, idx string, ok bool) {
+	ifst, isIf := st.(*ast.IfStmt)
+	if !isIf || ifst.Init != nil || ifst.Else != nil || len(ifst.Body.List) != 1 {
+		return nil, "", false
+	}
+	br, isBr := ifst.Body.List[0].(*ast.BranchStmt)
+	if !isBr || br.Tok != token.BREAK || br.Label != nil {
+		return nil, "", false
+	}
+	b, isBin := ifst.Cond.(*ast.BinaryExpr)
+	if !isBin || b.Op != token.GEQ {
+		return nil, "", false
+	}
+	id, isIdent := b.X.(*ast.Ident)
+	if !isIdent {
+		return nil, "", false
+	}
+	return b.Y, id.Name, true
+}
+
+// --- restrictions and capture analysis ----------------------------------
+
+// checkNest enforces every restriction that keeps the verbatim body legal
+// inside the generated leaf loops, and returns whether the nest is
+// irregular (inner upper bound depends on the outer index).
+func checkNest(fset *token.FileSet, fn *ast.FuncDecl, n *loNest) (irregular bool, err error) {
+	o, i := n.outer, n.inner
+	if o.idx == i.idx {
+		return false, errf(fset, i.pos, "inner loop reuses the outer index name %q", o.idx)
+	}
+	// Bounds must not reference the indices (the index does not exist yet
+	// where the generated code evaluates them) — except the inner upper
+	// bound's use of the outer index, which is the irregular case.
+	for _, b := range []struct {
+		e     ast.Expr
+		which string
+	}{{o.lo, "outer lower"}, {o.hi, "outer upper"}, {i.lo, "inner lower"}} {
+		if b.e == nil {
+			continue
+		}
+		for _, idx := range []string{o.idx, i.idx} {
+			if usesName(b.e, idx) {
+				if b.which == "inner lower" && idx == o.idx {
+					return false, errf(fset, b.e.Pos(),
+						"inner lower bound depends on the outer index %s; only the upper bound may (hoist the dependence into a body guard)", idx)
+				}
+				return false, errf(fset, b.e.Pos(), "%s bound references the loop index %s", b.which, idx)
+			}
+		}
+	}
+	if usesName(i.hi, i.idx) {
+		return false, errf(fset, i.hi.Pos(), "inner upper bound references the inner index %s", i.idx)
+	}
+	irregular = usesName(i.hi, o.idx)
+
+	if err := checkBody(fset, n); err != nil {
+		return false, err
+	}
+	if err := checkCaptures(fset, fn, n, irregular); err != nil {
+		return false, err
+	}
+	return irregular, nil
+}
+
+// checkBody walks the inner loop body rejecting constructs whose meaning
+// would change inside the generated leaf loops.
+func checkBody(fset *token.FileSet, n *loNest) error {
+	o, i := n.outer, n.inner
+	var walkErr error
+	fail := func(pos token.Pos, format string, args ...any) {
+		if walkErr == nil {
+			walkErr = errf(fset, pos, format, args...)
+		}
+	}
+	// breakDepth counts enclosing break targets (loops, switch, select)
+	// inside the body; continueDepth counts enclosing loops only.
+	var walk func(st ast.Stmt, breakDepth, continueDepth int)
+	walkList := func(list []ast.Stmt, b, c int) {
+		for _, st := range list {
+			walk(st, b, c)
+		}
+	}
+	walk = func(st ast.Stmt, breakDepth, continueDepth int) {
+		if walkErr != nil || st == nil {
+			return
+		}
+		switch s := st.(type) {
+		case *ast.ReturnStmt:
+			fail(s.Pos(), "return inside the nest body (the generated recursion cannot early-exit)")
+		case *ast.DeferStmt:
+			fail(s.Pos(), "defer inside the nest body (its scope changes under the conversion)")
+		case *ast.LabeledStmt:
+			fail(s.Pos(), "labeled statement inside the nest body")
+		case *ast.BranchStmt:
+			switch {
+			case s.Label != nil:
+				fail(s.Pos(), "labeled %s inside the nest body", s.Tok)
+			case s.Tok == token.GOTO:
+				fail(s.Pos(), "goto inside the nest body")
+			case s.Tok == token.BREAK && breakDepth == 0:
+				fail(s.Pos(), "break out of the converted loop (the recursion visits spans out of source order; restructure with a guard)")
+			case s.Tok == token.CONTINUE && continueDepth == 0 && (i.shape == ShapeWhile || i.shape == ShapeDo):
+				fail(s.Pos(), "continue in a %s-shaped loop skips the `%s++` tail in the source; make the increment a counted-for header first", i.shape, i.idx)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (id.Name == o.idx || id.Name == i.idx) && s.Tok != token.DEFINE {
+					fail(s.Pos(), "assignment to the loop index %s inside the body", id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && (id.Name == o.idx || id.Name == i.idx) {
+				fail(s.Pos(), "update of the loop index %s inside the body", id.Name)
+			}
+		case *ast.BlockStmt:
+			walkList(s.List, breakDepth, continueDepth)
+		case *ast.IfStmt:
+			walk(s.Init, breakDepth, continueDepth)
+			walk(s.Body, breakDepth, continueDepth)
+			walk(s.Else, breakDepth, continueDepth)
+		case *ast.ForStmt:
+			walk(s.Init, breakDepth, continueDepth)
+			walk(s.Post, breakDepth+1, continueDepth+1)
+			walk(s.Body, breakDepth+1, continueDepth+1)
+		case *ast.RangeStmt:
+			walk(s.Body, breakDepth+1, continueDepth+1)
+		case *ast.SwitchStmt:
+			walk(s.Init, breakDepth, continueDepth)
+			walk(s.Body, breakDepth+1, continueDepth)
+		case *ast.TypeSwitchStmt:
+			walk(s.Init, breakDepth, continueDepth)
+			walk(s.Body, breakDepth+1, continueDepth)
+		case *ast.SelectStmt:
+			walk(s.Body, breakDepth+1, continueDepth)
+		case *ast.CaseClause:
+			walkList(s.Body, breakDepth, continueDepth)
+		case *ast.CommClause:
+			walkList(s.Body, breakDepth, continueDepth)
+		default:
+			// Expression, send, go, decl, empty statements: nothing to do at
+			// the statement level.
+		}
+	}
+	walkList(i.body, 0, 0)
+	if walkErr != nil {
+		return walkErr
+	}
+
+	// Address-of the indices anywhere in the body defeats the per-leaf
+	// rebinding of the index variables.
+	for _, st := range i.body {
+		ast.Inspect(st, func(x ast.Node) bool {
+			if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if id, ok := u.X.(*ast.Ident); ok && (id.Name == o.idx || id.Name == i.idx) {
+					fail(u.Pos(), "taking the address of the loop index %s", id.Name)
+				}
+			}
+			return walkErr == nil
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+	}
+	return nil
+}
+
+// checkCaptures rejects references from the nest (body and bound
+// expressions) to names declared locally in the function outside the nest:
+// the generated recursion lives in new top-level functions, where such
+// state is unreachable. Function parameters are fine — the generated entry
+// points redeclare them.
+func checkCaptures(fset *token.FileSet, fn *ast.FuncDecl, n *loNest, irregular bool) error {
+	locals := map[string]token.Pos{}
+	for _, st := range fn.Body.List {
+		if n.consumed[st] {
+			continue
+		}
+		collectDecls(st, locals)
+	}
+	if len(locals) == 0 {
+		return nil
+	}
+
+	declared := map[string]bool{n.outer.idx: true, n.inner.idx: true}
+	for _, st := range n.inner.body {
+		collectDeclsBool(st, declared)
+	}
+
+	check := func(node ast.Node, what string) error {
+		var err error
+		forEachRef(node, func(id *ast.Ident) {
+			if err != nil || declared[id.Name] {
+				return
+			}
+			if pos, isLocal := locals[id.Name]; isLocal {
+				err = errf(fset, id.Pos(), "%s references %s, declared at %s outside the nest; hoist it to package level",
+					what, id.Name, fset.Position(pos))
+			}
+		})
+		return err
+	}
+	for _, st := range n.inner.body {
+		if err := check(st, "nest body"); err != nil {
+			return err
+		}
+	}
+	for _, b := range []struct {
+		e    ast.Expr
+		what string
+	}{
+		{n.outer.lo, "outer lower bound"}, {n.outer.hi, "outer upper bound"},
+		{n.inner.lo, "inner lower bound"}, {n.inner.hi, "inner upper bound"},
+	} {
+		if b.e == nil {
+			continue
+		}
+		if err := check(b.e, b.what); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectDecls records every name a statement declares (at any nesting
+// depth — coarser than Go's scoping, which only ever widens the capture
+// check, never narrows it).
+func collectDecls(st ast.Stmt, out map[string]token.Pos) {
+	ast.Inspect(st, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						out[id.Name] = id.Pos()
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range v.Names {
+				if id.Name != "_" {
+					out[id.Name] = id.Pos()
+				}
+			}
+		case *ast.TypeSpec:
+			out[v.Name.Name] = v.Name.Pos()
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						out[id.Name] = id.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func collectDeclsBool(st ast.Stmt, out map[string]bool) {
+	tmp := map[string]token.Pos{}
+	collectDecls(st, tmp)
+	for k := range tmp {
+		out[k] = true
+	}
+}
+
+// forEachRef visits every identifier that reads a value: selector field
+// names are skipped (x.f references x, not f), as are the names a composite
+// literal's struct-field keys would shadow.
+func forEachRef(n ast.Node, f func(*ast.Ident)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			forEachRef(v.X, f)
+			return false
+		case *ast.KeyValueExpr:
+			// A struct literal's key is a field name, not a reference; a
+			// map/array key is. Without types, visit the value only — a
+			// captured local used solely as a map key escapes this check and
+			// surfaces when the generated file is compiled.
+			forEachRef(v.Value, f)
+			return false
+		case *ast.Ident:
+			if v.Name != "_" {
+				f(v)
+			}
+		}
+		return true
+	})
+}
+
+// usesName reports whether the expression references the identifier
+// (selector fields excluded).
+func usesName(n ast.Node, name string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	forEachRef(n, func(id *ast.Ident) {
+		if id.Name == name {
+			found = true
+		}
+	})
+	return found
+}

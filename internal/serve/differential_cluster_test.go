@@ -92,6 +92,15 @@ func diffClusterCases() []diffClusterCase {
 			return marshalResult(t, out, err)
 		},
 	})
+	trLoops := serve.TransformSpec{Source: diffClusterLoopsSrc, Frontend: "loops"}
+	cases = append(cases, diffClusterCase{
+		name: "transform/loops-frontend", kind: serve.KindTransform, spec: trLoops,
+		direct: func(t *testing.T) []byte {
+			c := trLoops
+			out, err := serve.TransformJob(context.Background(), &c)
+			return marshalResult(t, out, err)
+		},
+	})
 
 	or := serve.OracleSpec{Workload: "TJ", Variant: "twisted", Scale: scale, Seed: seed}
 	cases = append(cases, diffClusterCase{
@@ -134,6 +143,23 @@ func Inner(o *Node, i *Node) {
 	work(o, i)
 	Inner(o, i.Left)
 	Inner(o, i.Right)
+}
+`
+
+// diffClusterLoopsSrc exercises the loops front-end across the fleet: an
+// irregular (triangular) nest, so the routed job covers the truncation-flag
+// synthesis path too.
+const diffClusterLoopsSrc = `package p
+
+var visit func(o, i int)
+
+//twist:loops name=tri leafrun=2
+func triLoops(n int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < o; i++ {
+			visit(o, i)
+		}
+	}
 }
 `
 

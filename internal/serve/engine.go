@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"twist/internal/layout"
+	"twist/internal/loopfront"
 	"twist/internal/memsim"
 	"twist/internal/nest"
 	"twist/internal/obs"
@@ -313,6 +314,16 @@ type TransformResult struct {
 	// the outer index (the paper's irregular case, §4).
 	Irregular bool `json:"irregular"`
 
+	// Frontend and Nest echo the loops front-end selection; omitted for
+	// the default template front-end.
+	Frontend string `json:"frontend,omitempty"`
+	Nest     string `json:"nest,omitempty"`
+
+	// Template is the intermediate recursion template the loop front-end
+	// generated from the source nest; omitted for the default template
+	// front-end (where the input already is the template).
+	Template string `json:"template,omitempty"`
+
 	// Source is the generated Go source file holding the requested
 	// schedule variants.
 	Source string `json:"source"`
@@ -335,7 +346,17 @@ func (s *TransformSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t, err := transform.ParseFile("input.go", []byte(s.Source))
+	src := []byte(s.Source)
+	var unit *loopfront.Unit
+	if s.Frontend == "loops" {
+		var err error
+		unit, err = loopfront.Single("input.go", src, s.Nest)
+		if err != nil {
+			return nil, err
+		}
+		src = unit.Source
+	}
+	t, err := transform.ParseFile("input.go", src)
 	if err != nil {
 		return nil, err
 	}
@@ -347,21 +368,27 @@ func (s *TransformSpec) exec(ctx context.Context, rec obs.Recorder) (any, error)
 		}
 		scheds = append(scheds, sched)
 	}
-	src, err := algebra.GenerateSchedules(t, scheds)
+	out, err := algebra.GenerateSchedules(t, scheds)
 	if err != nil {
 		return nil, err
 	}
 	if rec != nil {
-		rec.Count("serve.transform.bytes", int64(len(src)))
+		rec.Count("serve.transform.bytes", int64(len(out)))
 	}
-	return &TransformResult{
+	res := &TransformResult{
 		OuterFunc:  t.Outer.Name.Name,
 		InnerFunc:  t.Inner.Name.Name,
 		OuterIndex: t.OName,
 		InnerIndex: t.IName,
 		Irregular:  t.Irregular(),
-		Source:     string(src),
-	}, nil
+		Source:     string(out),
+	}
+	if unit != nil {
+		res.Frontend = "loops"
+		res.Nest = unit.Name
+		res.Template = string(unit.Source)
+	}
+	return res, nil
 }
 
 // OracleResult is the result of an oracle job.

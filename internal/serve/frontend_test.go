@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"twist/internal/transform"
+)
+
+// diffLoopsSrc is a plain loop nest for the loops front-end axis: the serve
+// layer must convert it through internal/loopfront before schedule
+// generation, and the equivalent direct library call must agree byte for
+// byte.
+const diffLoopsSrc = `package p
+
+var visit func(o, i int)
+
+//twist:loops name=kernel leafrun=4
+func kernelLoops(n, m int) {
+	for o := 0; o < n; o++ {
+		for i := 0; i < m; i++ {
+			visit(o, i)
+		}
+	}
+}
+`
+
+// TestFrontendDigestCanonicalization verifies the frontend field's digest
+// contract: "", "template", and case variants all canonicalize to "" — so
+// requests predating the front-end axis keep their content digests — while
+// "loops" canonicalizes to its one name and digests distinctly.
+func TestFrontendDigestCanonicalization(t *testing.T) {
+	t.Parallel()
+	digest := func(frontend string) string {
+		s := &TransformSpec{Source: diffTemplateSrc, Frontend: frontend}
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("normalize frontend %q: %v", frontend, err)
+		}
+		return Digest(s)
+	}
+	base := digest("")
+	for _, spelling := range []string{"template", "Template", "TEMPLATE"} {
+		if d := digest(spelling); d != base {
+			t.Errorf("frontend %q digests %s, want the frontend-free digest %s", spelling, d, base)
+		}
+	}
+	loops := &TransformSpec{Source: diffLoopsSrc, Frontend: "Loops"}
+	if err := loops.Normalize(); err != nil {
+		t.Fatalf("normalize loops frontend: %v", err)
+	}
+	if loops.Frontend != "loops" {
+		t.Errorf("loops frontend canonicalized to %q, want \"loops\"", loops.Frontend)
+	}
+	if d := Digest(loops); d == base {
+		t.Error("loops transform digests identically to the frontend-free request")
+	}
+
+	bad := &TransformSpec{Source: diffTemplateSrc, Frontend: "recursion"}
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "frontend") {
+		t.Errorf("unknown frontend normalized without a frontend error: %v", err)
+	}
+	nest := &TransformSpec{Source: diffTemplateSrc, Nest: "kernel"}
+	if err := nest.Normalize(); err == nil || !strings.Contains(err.Error(), "loops") {
+		t.Errorf("nest selection without the loops frontend normalized: %v", err)
+	}
+}
+
+// TestDifferentialTransformLoops is the serving-contract check for the loops
+// front-end: the served result is exactly the direct library call's JSON,
+// the intermediate template round-trips transform.ParseFile, and a repeated
+// request is a cache hit on the same digest.
+func TestDifferentialTransformLoops(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Config{Workers: 2, Queue: 64})
+	spec := TransformSpec{Source: diffLoopsSrc, Frontend: "loops"}
+	direct := spec
+	want, err := TransformJob(context.Background(), &direct)
+	if err != nil {
+		t.Fatalf("direct TransformJob: %v", err)
+	}
+	if want.Frontend != "loops" || want.Nest != "kernel" {
+		t.Fatalf("result frontend/nest = %q/%q, want loops/kernel", want.Frontend, want.Nest)
+	}
+	if want.Template == "" {
+		t.Fatal("loops result carries no intermediate template")
+	}
+	tmpl, err := transform.ParseFile("template.go", []byte(want.Template))
+	if err != nil {
+		t.Fatalf("intermediate template does not round-trip transform.ParseFile: %v", err)
+	}
+	if tmpl.Irregular() != want.Irregular {
+		t.Fatalf("result irregularity %v disagrees with the template's %v", want.Irregular, tmpl.Irregular())
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := postJob(t, ts.URL, KindTransform, spec)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	env := decodeEnvelope(t, body)
+	if !bytes.Equal(env.Result, wantJSON) {
+		t.Errorf("served result differs\nserved: %s\ndirect: %s", env.Result, wantJSON)
+	}
+	if env.Cached {
+		t.Error("first loops request reported cached")
+	}
+
+	status, body = postJob(t, ts.URL, KindTransform, spec)
+	if status != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", status, body)
+	}
+	env2 := decodeEnvelope(t, body)
+	if !env2.Cached || env2.Digest != env.Digest {
+		t.Errorf("repeated loops request missed the cache (cached=%v, digest %s vs %s)",
+			env2.Cached, env2.Digest, env.Digest)
+	}
+}
+
+// TestTransformLoopsRejects routes front-end diagnostics through the serve
+// error path: an unsupported nest must fail the job with the positional
+// loopfront message, not crash or emit code.
+func TestTransformLoopsRejects(t *testing.T) {
+	t.Parallel()
+	src := strings.Replace(diffLoopsSrc, "for i := 0; i < m; i++ {", "println(o)\n\t\tfor i := 0; i < m; i++ {", 1)
+	spec := TransformSpec{Source: src, Frontend: "loops"}
+	_, err := TransformJob(context.Background(), &spec)
+	if err == nil || !strings.Contains(err.Error(), "loopfront: input.go:") {
+		t.Fatalf("imperfect nest error = %v, want a positional loopfront diagnostic", err)
+	}
+	// The same source through the default front-end fails differently: it
+	// is not a recursion template at all.
+	tmplSpec := TransformSpec{Source: diffLoopsSrc}
+	if _, err := TransformJob(context.Background(), &tmplSpec); err == nil {
+		t.Fatal("loop source accepted by the template front-end")
+	}
+}

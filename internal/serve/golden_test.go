@@ -44,6 +44,7 @@ func goldenJobs() []struct {
 		{"transform", KindTransform, TransformSpec{Source: diffTemplateSrc}},
 		{"transform_schedule", KindTransform, TransformSpec{Source: diffTemplateSrc,
 			Schedules: []string{"inline(2)∘twist(flagged)"}}},
+		{"transform_loops", KindTransform, TransformSpec{Source: diffLoopsSrc, Frontend: "loops"}},
 		{"oracle", KindOracle, OracleSpec{Workload: "MM", Variant: "twisted", Scale: goldenScale, Seed: goldenSeed}},
 	}
 }

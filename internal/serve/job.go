@@ -283,6 +283,16 @@ type TransformSpec struct {
 	// digests identically to its variant-bearing equivalent); entries with
 	// inline(K) stay here in canonical form and emit the inlined drivers.
 	Schedules []string `json:"schedules,omitempty"`
+	// Frontend names the source language of the job: "template" for the
+	// annotated recursion pair (the default), "loops" for a plain Go file
+	// whose //twist:loops loop nest is first converted to the template by
+	// the loop front-end (internal/loopfront, §7.2). The default template
+	// front-end canonicalizes to "", so requests predating the axis keep
+	// their content digests (the same contract as RunSpec.Engine).
+	Frontend string `json:"frontend,omitempty"`
+	// Nest selects one //twist:loops nest by name when the loops front-end
+	// input holds several; requires Frontend "loops".
+	Nest string `json:"nest,omitempty"`
 }
 
 // Kind implements Spec.
@@ -295,6 +305,12 @@ func (s *TransformSpec) Normalize() error {
 	}
 	if len(s.Source) > MaxSourceBytes {
 		return fmt.Errorf("serve: transform source %d bytes exceeds the limit %d", len(s.Source), MaxSourceBytes)
+	}
+	if err := normalizeFrontend(&s.Frontend); err != nil {
+		return err
+	}
+	if s.Nest != "" && s.Frontend != "loops" {
+		return fmt.Errorf("serve: nest selection requires the loops frontend")
 	}
 	exprs := len(s.Variants) + len(s.Schedules)
 	if exprs == 0 {
@@ -487,6 +503,24 @@ func normalizeEngine(name *string) error {
 		*name = eng.String()
 	}
 	return nil
+}
+
+// normalizeFrontend canonicalizes a transform front-end name. The default
+// template front-end elides to "" — a frontend-free request and an explicit
+// "template" request are the same job, and transform requests predating the
+// front-end axis keep their content digests (the same contract as
+// normalizeEngine).
+func normalizeFrontend(name *string) error {
+	switch strings.ToLower(*name) {
+	case "", "template":
+		*name = ""
+		return nil
+	case "loops":
+		*name = "loops"
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown transform frontend %q (want template or loops)", *name)
+	}
 }
 
 // normalizeFlagMode canonicalizes a flag-mode name ("" means counter).
